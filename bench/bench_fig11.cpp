@@ -1,0 +1,105 @@
+// Fig. 11: tensor-contraction and SVD throughput of the MPE-only (serial)
+// kernels versus the MPE+64-CPE versions, as a function of bond dimension.
+// Measured wall time is reported alongside the machine-model prediction for
+// a real SW26010Pro core group (this host has one core, so the measured
+// "speedup" mostly validates correctness while the model carries the
+// Sunway-scale claim — see DESIGN.md substitution 1). Bond dimensions are
+// scaled down from the paper's 256..1024; pass argv[1] to raise the cap.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "swsim/kernels.hpp"
+#include "swsim/machine_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace q2;
+  const std::size_t max_d = argc > 1 ? std::size_t(std::atoi(argv[1])) : 128;
+  sw::CpeCluster cluster;
+  const sw::MachineModel model;
+  Rng rng(5);
+
+  bench::header("Fig. 11 (upper): two-site tensor contraction vs bond dim");
+  bench::row({"D", "MPE time (s)", "MPE+CPE time (s)", "measured speedup",
+              "modeled SW speedup"});
+  for (std::size_t d : {16u, 32u, 64u, 128u, 256u}) {
+    if (d > max_d) break;
+    // The MPS two-site contraction: (2D x D) * (D x 2D).
+    la::CMatrix a(2 * d, d), b(d, 2 * d);
+    for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.complex_normal();
+    for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.complex_normal();
+
+    Timer t_serial;
+    const la::CMatrix c1 = la::matmul(a, b);
+    const double serial_s = t_serial.seconds();
+
+    cluster.reset_counters();
+    Timer t_cpe;
+    const la::CMatrix c2 = sw::gemm_cpe(cluster, a, b);
+    const double cpe_s = t_cpe.seconds();
+    const sw::DmaCounters dma = cluster.counters();
+
+    const double flops = 8.0 * double(2 * d) * double(d) * double(2 * d);
+    const double t_mpe_model = model.cpe_kernel_time(flops, 0, 1, 0.75);
+    const double t_cpe_model = model.cpe_kernel_time(
+        flops, double(dma.bytes_in + dma.bytes_out), 64, 0.75);
+
+    bench::row({std::to_string(d), bench::fmte(serial_s), bench::fmte(cpe_s),
+                bench::fmt(serial_s / cpe_s, 2) + "x",
+                bench::fmt(t_mpe_model / t_cpe_model, 1) + "x"});
+    (void)c1;
+    (void)c2;
+  }
+
+  bench::header("Fig. 11 (lower): SVD vs bond dim");
+  bench::row({"D", "MPE time (s)", "MPE+CPE time (s)", "measured speedup",
+              "modeled SW speedup"});
+  for (std::size_t d : {16u, 32u, 64u, 128u}) {
+    if (d > max_d) break;
+    la::CMatrix m(2 * d, 2 * d);
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.complex_normal();
+
+    Timer t_serial;
+    const la::SvdResult f1 = la::svd(m);
+    const double serial_s = t_serial.seconds();
+
+    cluster.reset_counters();
+    Timer t_cpe;
+    const la::SvdResult f2 = sw::svd_cpe(cluster, m);
+    const double cpe_s = t_cpe.seconds();
+
+    // One-sided Jacobi flop estimate: sweeps * column pairs * rotation cost.
+    // DMA follows the panel-resident schedule of a tuned kernel (columns
+    // stay in LDM across a tournament round), not the per-pair staging the
+    // emulation pays: each sweep streams the matrix a few times.
+    const double n = double(2 * d);
+    const double sweeps = 15.0;
+    const double flops = 2.0 * sweeps * n * n * n * 8.0;
+    const double dma_bytes = sweeps * 4.0 * n * n * 16.0;
+    const double t_mpe_model = model.cpe_kernel_time(flops, 0, 1, 0.25);
+    // SVD parallelizes imperfectly: a serial MPE fraction (pair scheduling,
+    // convergence control) plus one CPE spawn per tournament round cap the
+    // speedup near the paper's ~15x at large D.
+    const double serial_fraction = 0.06;
+    const double rounds = sweeps * (n - 1);
+    const double t_cpe_model =
+        serial_fraction * t_mpe_model +
+        model.cpe_kernel_time((1.0 - serial_fraction) * flops, dma_bytes, 64,
+                              0.25) +
+        rounds * model.machine().processor.spawn_overhead_s;
+
+    bench::row({std::to_string(d), bench::fmte(serial_s), bench::fmte(cpe_s),
+                bench::fmt(serial_s / cpe_s, 2) + "x",
+                bench::fmt(t_mpe_model / t_cpe_model, 1) + "x"});
+    (void)f1;
+    (void)f2;
+  }
+  std::printf(
+      "\nPaper shape check: CPE offload pays off increasingly with D"
+      " (paper: contraction\n2.3x-46.5x, SVD 1.04x-15.5x from D=256 to 1024);"
+      " on this 1-core host the measured\ncolumn shows parity while the"
+      " modeled column reproduces the Sunway trend.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 7(a): accuracy of DMET-MPS-VQE on a hydrogen ring against FCI (the
+// potential-energy curve must track FCI within 0.5 % relative error), plus
+// the MPS-VQE vs FCI accuracy table for small molecules (H2 / LiH / H2O),
+// where the paper quotes ~0.01 % relative errors.
+//
+// Scale note: the paper's ring has 10 atoms; this host defaults to 6 so the
+// bench finishes in minutes. Pass an atom count as argv[1] to run the full
+// 10-atom ring.
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "dmet/dmet_driver.hpp"
+#include "vqe/vqe_driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace q2;
+  const int n_atoms = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  bench::header("Fig. 7(a) part 1: H-ring potential curve, DMET vs FCI");
+  bench::row({"R (bohr)", "E(FCI)", "E(DMET-FCI)", "E(DMET-VQE)", "rel.err",
+              "rel.err(VQE)"});
+
+  vqe::VqeOptions vqe_opts;
+  vqe_opts.optimizer.max_iterations = 25;
+  vqe_opts.mps.max_bond = 16;
+
+  for (double r : {1.5, 1.8, 2.4}) {
+    const chem::Molecule ring = chem::Molecule::hydrogen_ring(n_atoms, r);
+    const bench::SolvedMolecule s = bench::solve(ring);
+    const chem::FciResult fci =
+        chem::fci_ground_state(s.mo, n_atoms / 2, n_atoms / 2);
+
+    dmet::DmetOptions opts;
+    opts.fragments = dmet::uniform_atom_groups(std::size_t(n_atoms), 2);
+    // Homogeneous ring: mu = 0 balances electrons by symmetry and all
+    // fragments are equivalent; skipping the bisection and replicating the
+    // single fragment solve keeps the VQE sweep tractable on one core.
+    opts.fit_chemical_potential = false;
+    opts.equivalent_fragments = true;
+    const dmet::DmetResult dm_fci =
+        dmet::run_dmet(ring, opts, dmet::make_fci_solver());
+    const dmet::DmetResult dm_vqe =
+        dmet::run_dmet(ring, opts, dmet::make_vqe_solver(vqe_opts));
+
+    bench::row({bench::fmt(r, 2), bench::fmt(fci.energy, 6),
+                bench::fmt(dm_fci.energy, 6), bench::fmt(dm_vqe.energy, 6),
+                bench::fmte(std::abs((dm_fci.energy - fci.energy) / fci.energy)),
+                bench::fmte(std::abs((dm_vqe.energy - fci.energy) / fci.energy))});
+  }
+  std::printf("Acceptance (paper): relative errors below 0.5%% = 5.0e-03.\n");
+
+  bench::header("Fig. 7(a) part 2: MPS-VQE vs FCI for small molecules");
+  bench::row({"system", "E(FCI)", "E(MPS-VQE)", "rel.err"});
+  struct Case {
+    const char* name;
+    chem::Molecule mol;
+    std::size_t n_frozen;
+  };
+  const Case cases[] = {
+      {"H2", chem::Molecule::h2(1.4), 0},
+      {"LiH (2e,4o)", chem::Molecule::lih(), 1},
+      {"H2O (4e,4o)", chem::Molecule::h2o(), 3},
+  };
+  for (const Case& c : cases) {
+    const bench::SolvedMolecule s = bench::solve(c.mol);
+    const std::size_t n_active = std::min<std::size_t>(
+        s.mo.n_orbitals() - c.n_frozen, c.n_frozen > 0 ? 4 : s.mo.n_orbitals());
+    const chem::MoIntegrals act =
+        chem::make_active_space(s.mo, c.n_frozen, n_active);
+    const int ne_act = c.mol.n_electrons() - 2 * int(c.n_frozen);
+    const chem::FciResult fci =
+        chem::fci_ground_state(act, ne_act / 2, ne_act / 2);
+
+    vqe::VqeOptions opts;
+    opts.optimizer.max_iterations = 60;
+    opts.mps.max_bond = 64;
+    const vqe::VqeResult r = vqe::run_vqe(act, ne_act / 2, ne_act / 2, opts);
+    bench::row({c.name, bench::fmt(fci.energy, 6), bench::fmt(r.energy, 6),
+                bench::fmte(std::abs((r.energy - fci.energy) / fci.energy))});
+  }
+  std::printf("Acceptance (paper): relative errors at the ~1e-04 level.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 9: the memory-efficient circuit-storage scheme. The baseline stores
+// one full Hadamard-test circuit per Pauli string and re-binds all of them
+// at every parameter update (what "synchronizing the circuits after each
+// optimization step" costs); the paper's scheme keeps a single parametric
+// ansatz replica and constant measurement tails. The paper reports ~15x
+// speedup and ~20x memory reduction for (H2)3 / LiH / H2O (919 / 630 / 1085
+// circuits). We report (a) stored bytes, (b) the per-iteration circuit-
+// management time (bind/synchronize vs reuse), and (c) end-to-end evaluation
+// time on a subset of circuits.
+#include "bench_util.hpp"
+#include "sim/hadamard_test.hpp"
+#include "vqe/energy.hpp"
+#include "vqe/uccsd.hpp"
+
+int main() {
+  using namespace q2;
+  bench::header("Fig. 9: store-all vs memory-efficient circuit storage");
+  bench::row({"system", "circuits", "mem ratio", "manage ratio",
+              "exec speedup"});
+
+  struct Case {
+    const char* name;
+    chem::Molecule mol;
+  };
+  const Case cases[] = {
+      {"(H2)3", chem::Molecule::h2_trimer()},
+      {"LiH", chem::Molecule::lih()},
+      {"H2O", chem::Molecule::h2o()},
+  };
+
+  for (const Case& c : cases) {
+    const bench::SolvedMolecule s = bench::solve(c.mol);
+    const int ne = c.mol.n_electrons();
+    const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(s.mo);
+    const vqe::UccsdAnsatz ansatz =
+        vqe::build_uccsd(s.mo.n_orbitals(), ne / 2, ne / 2);
+    const std::vector<double> params = vqe::initial_parameters(ansatz, 0.05);
+
+    sim::MpsOptions mps_opts;
+    mps_opts.max_bond = 16;
+    const vqe::EnergyEvaluator store_all(ansatz.circuit, h, mps_opts,
+                                         vqe::MeasurementMode::kHadamardTest,
+                                         vqe::CircuitStorage::kStoreAll);
+    const vqe::EnergyEvaluator efficient(
+        ansatz.circuit, h, mps_opts, vqe::MeasurementMode::kHadamardTest,
+        vqe::CircuitStorage::kMemoryEfficient);
+
+    // (a) Memory held in circuit storage.
+    const double mem_ratio = double(store_all.stored_circuit_bytes()) /
+                             double(efficient.stored_circuit_bytes());
+
+    // (b) Per-iteration circuit management: the store-all baseline copies
+    // and re-binds every circuit when the parameters change; the efficient
+    // scheme touches one replica. Modeled by binding each representation.
+    const auto bind_all = [&params](const std::vector<circ::Circuit>& cs) {
+      std::size_t gates = 0;
+      for (const auto& circ_k : cs) {
+        circ::Circuit bound(circ_k.n_qubits());
+        for (circ::Gate g : circ_k.gates()) {
+          if (g.is_parametric()) {
+            g.theta = g.angle(params);
+            g.param_index = -1;
+          }
+          bound.append(std::move(g));
+        }
+        gates += bound.size();
+      }
+      return gates;
+    };
+    // Rebuild the full circuit set once to measure the bind cost.
+    std::vector<circ::Circuit> full_set;
+    full_set.reserve(store_all.n_terms());
+    for (const auto& [p, coeff] : store_all.terms())
+      full_set.push_back(sim::hadamard_test_circuit(ansatz.circuit, p));
+    Timer t_manage_all;
+    const std::size_t g1 = bind_all(full_set);
+    const double manage_all = t_manage_all.seconds();
+    std::vector<circ::Circuit> one_replica = {ansatz.circuit};
+    Timer t_manage_eff;
+    const std::size_t g2 = bind_all(one_replica);
+    const double manage_eff = t_manage_eff.seconds();
+
+    // (c) End-to-end evaluation on a small circuit subset.
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < 4; ++i)
+      subset.push_back(i * store_all.n_terms() / 4);
+    Timer t_all;
+    store_all.partial_energy(params, subset);
+    const double all_s = t_all.seconds() + manage_all;
+    Timer t_eff;
+    efficient.partial_energy(params, subset);
+    const double eff_s = t_eff.seconds() + manage_eff;
+
+    bench::row({c.name, std::to_string(store_all.circuit_count()),
+                bench::fmt(mem_ratio, 0) + "x",
+                bench::fmt(manage_all / std::max(manage_eff, 1e-9), 0) + "x",
+                bench::fmt(all_s / eff_s, 2) + "x"});
+    (void)g1;
+    (void)g2;
+  }
+  std::printf(
+      "\nPaper shape check: the paper reports ~20x memory reduction and ~15x"
+      " speedup\n(including cross-process synchronization). Our gate-level"
+      " store widens the memory\ngap beyond 20x; the manage column isolates"
+      " the per-iteration rebinding cost the\nscheme eliminates.\n");
+  return 0;
+}

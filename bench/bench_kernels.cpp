@@ -1,0 +1,85 @@
+// Google-benchmark microbenchmarks of the numerical kernels every figure
+// rests on: complex GEMM, one-sided Jacobi SVD, the MPS two-site update and
+// Pauli-string expectation sweeps.
+#include <benchmark/benchmark.h>
+
+#include "circuit/builder.hpp"
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "sim/mps.hpp"
+
+namespace {
+
+using namespace q2;
+
+la::CMatrix random_matrix(std::size_t m, std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  la::CMatrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.complex_normal();
+  return a;
+}
+
+void BM_GemmComplex(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const la::CMatrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(8 * n * n * n));
+}
+BENCHMARK(BM_GemmComplex)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SvdGolubKahan(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const la::CMatrix a = random_matrix(2 * n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::svd(a));
+  }
+}
+BENCHMARK(BM_SvdGolubKahan)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SvdJacobi(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const la::CMatrix a = random_matrix(2 * n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::svd_jacobi(a));
+  }
+}
+BENCHMARK(BM_SvdJacobi)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MpsTwoQubitGate(benchmark::State& state) {
+  const std::size_t d = std::size_t(state.range(0));
+  const int n = 12;
+  Rng rng(4);
+  sim::MpsOptions opts;
+  opts.max_bond = d;
+  sim::Mps mps(n, opts);
+  // Warm the bonds up to D with a few brickwork layers.
+  mps.run(circ::brickwork_circuit(n, 6, rng));
+  const circ::Circuit layer = circ::brickwork_circuit(n, 1, rng);
+  for (auto _ : state) {
+    mps.run(layer);
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(layer.size()));
+}
+BENCHMARK(BM_MpsTwoQubitGate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MpsPauliExpectation(benchmark::State& state) {
+  const int n = int(state.range(0));
+  Rng rng(5);
+  sim::MpsOptions opts;
+  opts.max_bond = 16;
+  sim::Mps mps(n, opts);
+  mps.run(circ::brickwork_circuit(n, 4, rng));
+  pauli::PauliString p{std::size_t(n)};
+  for (int q = 0; q < n; ++q) p.set(std::size_t(q), pauli::P::Z);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mps.expectation(p));
+  }
+}
+BENCHMARK(BM_MpsPauliExpectation)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared helpers for the figure-regeneration benches: chemistry pipeline
+// shortcuts and aligned table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chem/fci.hpp"
+#include "chem/hamiltonian.hpp"
+#include "chem/scf.hpp"
+#include "common/timer.hpp"
+
+namespace q2::bench {
+
+struct SolvedMolecule {
+  chem::Molecule molecule;
+  chem::ScfResult scf;
+  chem::MoIntegrals mo;
+};
+
+inline SolvedMolecule solve(const chem::Molecule& mol,
+                            const std::string& basis_name = "sto-3g") {
+  SolvedMolecule s{mol, {}, {}};
+  const chem::BasisSet basis = chem::BasisSet::build(mol, basis_name);
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  s.scf = chem::rhf(mol, basis, ints);
+  if (!s.scf.converged) throw Error("bench: RHF failed to converge");
+  s.mo = chem::transform_to_mo(ints, s.scf.coefficients,
+                               s.scf.nuclear_repulsion);
+  return s;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-18s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmte(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+}  // namespace q2::bench

@@ -1,0 +1,178 @@
+#include "chem/basis.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace q2::chem {
+namespace {
+
+double double_factorial(int n) {
+  double r = 1;
+  for (int k = n; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+struct Shell {
+  int l;  ///< 0 = s, 1 = p
+  std::vector<double> exponents;
+  std::vector<double> coefficients;
+};
+
+// STO-3G exponents (EMSL). Contraction coefficients are shared across the
+// first row: one set for 1s, one for 2s and one for 2p.
+const std::vector<double> kSto3gCoeff1s = {0.15432897, 0.53532814, 0.44463454};
+const std::vector<double> kSto3gCoeff2s = {-0.09996723, 0.39951283, 0.70011547};
+const std::vector<double> kSto3gCoeff2p = {0.15591627, 0.60768372, 0.39195739};
+
+std::vector<Shell> sto3g_shells(int z) {
+  auto core = [&](std::vector<double> e) {
+    return Shell{0, std::move(e), kSto3gCoeff1s};
+  };
+  auto valence = [&](std::vector<double> e) {
+    return std::vector<Shell>{{0, e, kSto3gCoeff2s}, {1, e, kSto3gCoeff2p}};
+  };
+  switch (z) {
+    case 1:
+      return {core({3.42525091, 0.62391373, 0.16885540})};
+    case 2:
+      return {core({6.36242139, 1.15892300, 0.31364979})};
+    case 3: {
+      auto v = valence({0.6362897, 0.1478601, 0.0480887});
+      std::vector<Shell> s = {core({16.1195750, 2.9362007, 0.7946505})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 4: {
+      auto v = valence({1.3148331, 0.3055389, 0.0993707});
+      std::vector<Shell> s = {core({30.1678710, 5.4951153, 1.4871927})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 5: {
+      auto v = valence({2.2369561, 0.5198205, 0.1690618});
+      std::vector<Shell> s = {core({48.7911130, 8.8873622, 2.4052670})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 6: {
+      auto v = valence({2.9412494, 0.6834831, 0.2222899});
+      std::vector<Shell> s = {core({71.6168370, 13.0450960, 3.5305122})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 7: {
+      auto v = valence({3.7804559, 0.8784966, 0.2857144});
+      std::vector<Shell> s = {core({99.1061690, 18.0523120, 4.8856602})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 8: {
+      auto v = valence({5.0331513, 1.1695961, 0.3803890});
+      std::vector<Shell> s = {core({130.7093200, 23.8088610, 6.4436083})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 9: {
+      auto v = valence({6.4648032, 1.5022812, 0.4885885});
+      std::vector<Shell> s = {core({166.6791300, 30.3608120, 8.2168207})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    case 10: {
+      auto v = valence({8.2463151, 1.9162662, 0.6232293});
+      std::vector<Shell> s = {core({207.0156100, 37.7081510, 10.2052970})};
+      s.insert(s.end(), v.begin(), v.end());
+      return s;
+    }
+    default:
+      throw Error("sto-3g: element not tabulated");
+  }
+}
+
+std::vector<Shell> basis631g_shells(int z) {
+  switch (z) {
+    case 1:
+      return {
+          {0,
+           {18.7311370, 2.8253937, 0.6401217},
+           {0.03349460, 0.23472695, 0.81375733}},
+          {0, {0.1612778}, {1.0}},
+      };
+    default:
+      throw Error("6-31g: only hydrogen is tabulated in this build");
+  }
+}
+
+// Self-overlap of a contraction whose coefficients already include primitive
+// norms, used to normalize the contracted function.
+double contracted_self_overlap(const BasisFunction& f) {
+  double s = 0;
+  double lfac = 1;
+  for (int d = 0; d < 3; ++d) lfac *= double_factorial(2 * f.lmn[d] - 1);
+  const int big_l = f.lmn[0] + f.lmn[1] + f.lmn[2];
+  for (std::size_t k = 0; k < f.exponents.size(); ++k) {
+    for (std::size_t l = 0; l < f.exponents.size(); ++l) {
+      const double p = f.exponents[k] + f.exponents[l];
+      s += f.coefficients[k] * f.coefficients[l] * lfac /
+           std::pow(2.0 * p, big_l) * std::pow(kPi / p, 1.5);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+double primitive_norm(double exponent, const std::array<int, 3>& lmn) {
+  const int big_l = lmn[0] + lmn[1] + lmn[2];
+  double dfac = 1;
+  for (int d = 0; d < 3; ++d) dfac *= double_factorial(2 * lmn[d] - 1);
+  return std::pow(2.0 * exponent / kPi, 0.75) *
+         std::pow(4.0 * exponent, 0.5 * big_l) / std::sqrt(dfac);
+}
+
+BasisSet BasisSet::build(const Molecule& molecule, const std::string& name) {
+  BasisSet basis;
+  for (std::size_t atom = 0; atom < molecule.n_atoms(); ++atom) {
+    const Atom& a = molecule.atoms()[atom];
+    const std::vector<Shell> shells = (name == "sto-3g") ? sto3g_shells(a.z)
+                                      : (name == "6-31g")
+                                          ? basis631g_shells(a.z)
+                                          : throw Error("unknown basis set");
+    for (const Shell& sh : shells) {
+      // Cartesian components of the shell: s -> (0,0,0); p -> x, y, z.
+      std::vector<std::array<int, 3>> comps;
+      if (sh.l == 0) {
+        comps = {{0, 0, 0}};
+      } else if (sh.l == 1) {
+        comps = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+      } else {
+        throw Error("BasisSet: angular momentum not supported");
+      }
+      for (const auto& lmn : comps) {
+        BasisFunction f;
+        f.lmn = lmn;
+        f.center = a.xyz;
+        f.exponents = sh.exponents;
+        f.atom = int(atom);
+        f.coefficients.resize(sh.coefficients.size());
+        for (std::size_t k = 0; k < sh.coefficients.size(); ++k)
+          f.coefficients[k] =
+              sh.coefficients[k] * primitive_norm(sh.exponents[k], lmn);
+        const double s = contracted_self_overlap(f);
+        for (auto& c : f.coefficients) c /= std::sqrt(s);
+        basis.functions_.push_back(std::move(f));
+      }
+    }
+  }
+  return basis;
+}
+
+std::vector<std::size_t> BasisSet::functions_on_atom(int atom) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    if (functions_[i].atom == atom) idx.push_back(i);
+  return idx;
+}
+
+}  // namespace q2::chem

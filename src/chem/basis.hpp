@@ -1,0 +1,43 @@
+// Gaussian basis sets. Cartesian contracted Gaussians; STO-3G for H..Ne and
+// 6-31G for H are embedded (the repo is fully offline). Each basis function
+// records which atom it sits on, which is what the DMET fragmenter keys on.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace q2::chem {
+
+/// One contracted Cartesian Gaussian: sum_k c_k N_k x^l y^m z^n e^{-a_k r^2}.
+struct BasisFunction {
+  std::array<int, 3> lmn{0, 0, 0};
+  std::array<double, 3> center{0, 0, 0};
+  std::vector<double> exponents;
+  std::vector<double> coefficients;  ///< includes primitive + contraction norms
+  int atom = 0;                      ///< owning atom index in the molecule
+};
+
+class BasisSet {
+ public:
+  /// Builds the basis for a molecule. `name` is "sto-3g" or "6-31g"
+  /// (6-31G supports hydrogen only).
+  static BasisSet build(const Molecule& molecule, const std::string& name);
+
+  std::size_t size() const { return functions_.size(); }
+  const std::vector<BasisFunction>& functions() const { return functions_; }
+  const BasisFunction& operator[](std::size_t i) const { return functions_[i]; }
+
+  /// Indices of the basis functions centred on `atom`.
+  std::vector<std::size_t> functions_on_atom(int atom) const;
+
+ private:
+  std::vector<BasisFunction> functions_;
+};
+
+/// Normalization constant of a primitive Cartesian Gaussian.
+double primitive_norm(double exponent, const std::array<int, 3>& lmn);
+
+}  // namespace q2::chem

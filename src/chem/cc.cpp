@@ -1,0 +1,327 @@
+#include "chem/cc.hpp"
+
+#include <cmath>
+
+namespace q2::chem {
+namespace {
+
+// Dense rank-2/4 amplitude containers with occupied/virtual split indices.
+struct Amps {
+  std::size_t no, nv;
+  std::vector<double> t1;  // (i, a)
+  std::vector<double> t2;  // (i, j, a, b)
+
+  Amps(std::size_t no, std::size_t nv)
+      : no(no), nv(nv), t1(no * nv, 0.0), t2(no * no * nv * nv, 0.0) {}
+
+  double& s(std::size_t i, std::size_t a) { return t1[i * nv + a]; }
+  double s(std::size_t i, std::size_t a) const { return t1[i * nv + a]; }
+  double& d(std::size_t i, std::size_t j, std::size_t a, std::size_t b) {
+    return t2[((i * no + j) * nv + a) * nv + b];
+  }
+  double d(std::size_t i, std::size_t j, std::size_t a, std::size_t b) const {
+    return t2[((i * no + j) * nv + a) * nv + b];
+  }
+};
+
+// Spin-orbital working set: Fock matrix and <pq||rs> with occ = [0, no),
+// virt = [no, no+nv) in the *spin-orbital* index space.
+struct Work {
+  std::size_t no, nv, n;
+  std::vector<double> fock;  // n x n
+  const SpinOrbitalIntegrals* so;
+
+  double f(std::size_t p, std::size_t q) const { return fock[p * n + q]; }
+  double v(std::size_t p, std::size_t q, std::size_t r, std::size_t s) const {
+    return so->v(p, q, r, s);
+  }
+};
+
+}  // namespace
+
+double mp2_correlation_energy(const MoIntegrals& mo, int n_occ) {
+  const SpinOrbitalIntegrals so = to_spin_orbitals(mo);
+  const std::size_t no = 2 * std::size_t(n_occ);
+  const std::size_t n = so.n_spin;
+
+  // Canonical HF assumed: orbital energies from the diagonal Fock elements.
+  std::vector<double> eps(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    double f = so.h(p, p);
+    for (std::size_t i = 0; i < no; ++i) f += so.v(p, i, p, i);
+    eps[p] = f;
+  }
+
+  double e = 0;
+  for (std::size_t i = 0; i < no; ++i)
+    for (std::size_t j = 0; j < no; ++j)
+      for (std::size_t a = no; a < n; ++a)
+        for (std::size_t b = no; b < n; ++b) {
+          const double num = so.v(i, j, a, b);
+          if (num == 0.0) continue;
+          e += 0.25 * num * num / (eps[i] + eps[j] - eps[a] - eps[b]);
+        }
+  return e;
+}
+
+CcsdResult ccsd(const MoIntegrals& mo, int n_occ, double reference_energy,
+                const CcsdOptions& options) {
+  const SpinOrbitalIntegrals so = to_spin_orbitals(mo);
+  const std::size_t no = 2 * std::size_t(n_occ);
+  const std::size_t n = so.n_spin;
+  const std::size_t nv = n - no;
+  require(nv >= 1, "ccsd: no virtual orbitals");
+
+  Work w{no, nv, n, std::vector<double>(n * n, 0.0), &so};
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      double f = so.h(p, q);
+      for (std::size_t i = 0; i < no; ++i) f += so.v(p, i, q, i);
+      w.fock[p * n + q] = f;
+    }
+
+  // Spin-orbital index helpers: i,j,m,n in [0,no); a,b,e,f map to no+idx.
+  auto O = [](std::size_t i) { return i; };
+  auto V = [&](std::size_t a) { return no + a; };
+
+  std::vector<double> d1(no * nv), d2(no * no * nv * nv);
+  for (std::size_t i = 0; i < no; ++i)
+    for (std::size_t a = 0; a < nv; ++a)
+      d1[i * nv + a] = w.f(O(i), O(i)) - w.f(V(a), V(a));
+  for (std::size_t i = 0; i < no; ++i)
+    for (std::size_t j = 0; j < no; ++j)
+      for (std::size_t a = 0; a < nv; ++a)
+        for (std::size_t b = 0; b < nv; ++b)
+          d2[((i * no + j) * nv + a) * nv + b] = w.f(O(i), O(i)) +
+                                                w.f(O(j), O(j)) -
+                                                w.f(V(a), V(a)) -
+                                                w.f(V(b), V(b));
+
+  Amps t(no, nv);
+  for (std::size_t i = 0; i < no; ++i)
+    for (std::size_t j = 0; j < no; ++j)
+      for (std::size_t a = 0; a < nv; ++a)
+        for (std::size_t b = 0; b < nv; ++b)
+          t.d(i, j, a, b) =
+              w.v(O(i), O(j), V(a), V(b)) / d2[((i * no + j) * nv + a) * nv + b];
+
+  auto cc_energy = [&](const Amps& amp) {
+    double e = 0;
+    for (std::size_t i = 0; i < no; ++i)
+      for (std::size_t a = 0; a < nv; ++a) e += w.f(O(i), V(a)) * amp.s(i, a);
+    for (std::size_t i = 0; i < no; ++i)
+      for (std::size_t j = 0; j < no; ++j)
+        for (std::size_t a = 0; a < nv; ++a)
+          for (std::size_t b = 0; b < nv; ++b) {
+            const double vij = w.v(O(i), O(j), V(a), V(b));
+            e += 0.25 * vij * amp.d(i, j, a, b) +
+                 0.5 * vij * amp.s(i, a) * amp.s(j, b);
+          }
+    return e;
+  };
+
+  CcsdResult result;
+  result.mp2_energy = cc_energy(t);
+
+  auto tau_t = [&](const Amps& amp, std::size_t i, std::size_t j, std::size_t a,
+                   std::size_t b) {
+    return amp.d(i, j, a, b) + 0.5 * (amp.s(i, a) * amp.s(j, b) -
+                                      amp.s(i, b) * amp.s(j, a));
+  };
+  auto tau = [&](const Amps& amp, std::size_t i, std::size_t j, std::size_t a,
+                 std::size_t b) {
+    return amp.d(i, j, a, b) + amp.s(i, a) * amp.s(j, b) -
+           amp.s(i, b) * amp.s(j, a);
+  };
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // --- Stanton et al. intermediates -----------------------------------
+    std::vector<double> fae(nv * nv, 0.0), fmi(no * no, 0.0), fme(no * nv, 0.0);
+    for (std::size_t a = 0; a < nv; ++a)
+      for (std::size_t e = 0; e < nv; ++e) {
+        double x = (a == e) ? 0.0 : w.f(V(a), V(e));
+        for (std::size_t m = 0; m < no; ++m) {
+          x -= 0.5 * w.f(O(m), V(e)) * t.s(m, a);
+          for (std::size_t f = 0; f < nv; ++f) {
+            x += t.s(m, f) * w.v(O(m), V(a), V(f), V(e));
+            for (std::size_t nn = 0; nn < no; ++nn)
+              x -= 0.5 * tau_t(t, m, nn, a, f) * w.v(O(m), O(nn), V(e), V(f));
+          }
+        }
+        fae[a * nv + e] = x;
+      }
+    for (std::size_t m = 0; m < no; ++m)
+      for (std::size_t i = 0; i < no; ++i) {
+        double x = (m == i) ? 0.0 : w.f(O(m), O(i));
+        for (std::size_t e = 0; e < nv; ++e) {
+          x += 0.5 * t.s(i, e) * w.f(O(m), V(e));
+          for (std::size_t nn = 0; nn < no; ++nn) {
+            x += t.s(nn, e) * w.v(O(m), O(nn), O(i), V(e));
+            for (std::size_t f = 0; f < nv; ++f)
+              x += 0.5 * tau_t(t, i, nn, e, f) * w.v(O(m), O(nn), V(e), V(f));
+          }
+        }
+        fmi[m * no + i] = x;
+      }
+    for (std::size_t m = 0; m < no; ++m)
+      for (std::size_t e = 0; e < nv; ++e) {
+        double x = w.f(O(m), V(e));
+        for (std::size_t nn = 0; nn < no; ++nn)
+          for (std::size_t f = 0; f < nv; ++f)
+            x += t.s(nn, f) * w.v(O(m), O(nn), V(e), V(f));
+        fme[m * nv + e] = x;
+      }
+
+    std::vector<double> wmnij(no * no * no * no, 0.0);
+    for (std::size_t m = 0; m < no; ++m)
+      for (std::size_t nn = 0; nn < no; ++nn)
+        for (std::size_t i = 0; i < no; ++i)
+          for (std::size_t j = 0; j < no; ++j) {
+            double x = w.v(O(m), O(nn), O(i), O(j));
+            for (std::size_t e = 0; e < nv; ++e) {
+              x += t.s(j, e) * w.v(O(m), O(nn), O(i), V(e)) -
+                   t.s(i, e) * w.v(O(m), O(nn), O(j), V(e));
+              for (std::size_t f = 0; f < nv; ++f)
+                x += 0.25 * tau(t, i, j, e, f) * w.v(O(m), O(nn), V(e), V(f));
+            }
+            wmnij[((m * no + nn) * no + i) * no + j] = x;
+          }
+
+    std::vector<double> wabef(nv * nv * nv * nv, 0.0);
+    for (std::size_t a = 0; a < nv; ++a)
+      for (std::size_t b = 0; b < nv; ++b)
+        for (std::size_t e = 0; e < nv; ++e)
+          for (std::size_t f = 0; f < nv; ++f) {
+            double x = w.v(V(a), V(b), V(e), V(f));
+            for (std::size_t m = 0; m < no; ++m) {
+              x += -t.s(m, b) * w.v(V(a), O(m), V(e), V(f)) +
+                   t.s(m, a) * w.v(V(b), O(m), V(e), V(f));
+              for (std::size_t nn = 0; nn < no; ++nn)
+                x += 0.25 * tau(t, m, nn, a, b) * w.v(O(m), O(nn), V(e), V(f));
+            }
+            wabef[((a * nv + b) * nv + e) * nv + f] = x;
+          }
+
+    std::vector<double> wmbej(no * nv * nv * no, 0.0);
+    for (std::size_t m = 0; m < no; ++m)
+      for (std::size_t b = 0; b < nv; ++b)
+        for (std::size_t e = 0; e < nv; ++e)
+          for (std::size_t j = 0; j < no; ++j) {
+            double x = w.v(O(m), V(b), V(e), O(j));
+            for (std::size_t f = 0; f < nv; ++f)
+              x += t.s(j, f) * w.v(O(m), V(b), V(e), V(f));
+            for (std::size_t nn = 0; nn < no; ++nn) {
+              x -= t.s(nn, b) * w.v(O(m), O(nn), V(e), O(j));
+              for (std::size_t f = 0; f < nv; ++f)
+                x -= (0.5 * t.d(j, nn, f, b) + t.s(j, f) * t.s(nn, b)) *
+                     w.v(O(m), O(nn), V(e), V(f));
+            }
+            wmbej[((m * nv + b) * nv + e) * no + j] = x;
+          }
+
+    // --- T1 equations ----------------------------------------------------
+    Amps tn(no, nv);
+    for (std::size_t i = 0; i < no; ++i)
+      for (std::size_t a = 0; a < nv; ++a) {
+        double x = w.f(O(i), V(a));
+        for (std::size_t e = 0; e < nv; ++e) x += t.s(i, e) * fae[a * nv + e];
+        for (std::size_t m = 0; m < no; ++m) {
+          x -= t.s(m, a) * fmi[m * no + i];
+          for (std::size_t e = 0; e < nv; ++e) {
+            x += t.d(i, m, a, e) * fme[m * nv + e];
+            for (std::size_t f = 0; f < nv; ++f)
+              x -= 0.5 * t.d(i, m, e, f) * w.v(O(m), V(a), V(e), V(f));
+            for (std::size_t nn = 0; nn < no; ++nn)
+              x -= 0.5 * t.d(m, nn, a, e) * w.v(O(nn), O(m), V(e), O(i));
+          }
+        }
+        for (std::size_t nn = 0; nn < no; ++nn)
+          for (std::size_t f = 0; f < nv; ++f)
+            x -= t.s(nn, f) * w.v(O(nn), V(a), O(i), V(f));
+        tn.s(i, a) = x / d1[i * nv + a];
+      }
+
+    // --- T2 equations ----------------------------------------------------
+    for (std::size_t i = 0; i < no; ++i)
+      for (std::size_t j = 0; j < no; ++j)
+        for (std::size_t a = 0; a < nv; ++a)
+          for (std::size_t b = 0; b < nv; ++b) {
+            double x = w.v(O(i), O(j), V(a), V(b));
+            for (std::size_t e = 0; e < nv; ++e) {
+              double fa = fae[b * nv + e], fb = fae[a * nv + e];
+              double ca = 0, cb = 0;
+              for (std::size_t m = 0; m < no; ++m) {
+                ca += 0.5 * t.s(m, b) * fme[m * nv + e];
+                cb += 0.5 * t.s(m, a) * fme[m * nv + e];
+              }
+              x += t.d(i, j, a, e) * (fa - ca) - t.d(i, j, b, e) * (fb - cb);
+            }
+            for (std::size_t m = 0; m < no; ++m) {
+              double fa = fmi[m * no + j], fb = fmi[m * no + i];
+              double ca = 0, cb = 0;
+              for (std::size_t e = 0; e < nv; ++e) {
+                ca += 0.5 * t.s(j, e) * fme[m * nv + e];
+                cb += 0.5 * t.s(i, e) * fme[m * nv + e];
+              }
+              x += -t.d(i, m, a, b) * (fa + ca) + t.d(j, m, a, b) * (fb + cb);
+            }
+            for (std::size_t m = 0; m < no; ++m)
+              for (std::size_t nn = 0; nn < no; ++nn)
+                x += 0.5 * tau(t, m, nn, a, b) *
+                     wmnij[((m * no + nn) * no + i) * no + j];
+            for (std::size_t e = 0; e < nv; ++e)
+              for (std::size_t f = 0; f < nv; ++f)
+                x += 0.5 * tau(t, i, j, e, f) *
+                     wabef[((a * nv + b) * nv + e) * nv + f];
+            for (std::size_t m = 0; m < no; ++m)
+              for (std::size_t e = 0; e < nv; ++e) {
+                x += t.d(i, m, a, e) * wmbej[((m * nv + b) * nv + e) * no + j] -
+                     t.s(i, e) * t.s(m, a) * w.v(O(m), V(b), V(e), O(j));
+                x -= t.d(j, m, a, e) * wmbej[((m * nv + b) * nv + e) * no + i] -
+                     t.s(j, e) * t.s(m, a) * w.v(O(m), V(b), V(e), O(i));
+                x -= t.d(i, m, b, e) * wmbej[((m * nv + a) * nv + e) * no + j] -
+                     t.s(i, e) * t.s(m, b) * w.v(O(m), V(a), V(e), O(j));
+                x += t.d(j, m, b, e) * wmbej[((m * nv + a) * nv + e) * no + i] -
+                     t.s(j, e) * t.s(m, b) * w.v(O(m), V(a), V(e), O(i));
+              }
+            for (std::size_t e = 0; e < nv; ++e) {
+              x += t.s(i, e) * w.v(V(a), V(b), V(e), O(j)) -
+                   t.s(j, e) * w.v(V(a), V(b), V(e), O(i));
+            }
+            for (std::size_t m = 0; m < no; ++m) {
+              x += -t.s(m, a) * w.v(O(m), V(b), O(i), O(j)) +
+                   t.s(m, b) * w.v(O(m), V(a), O(i), O(j));
+            }
+            tn.d(i, j, a, b) = x / d2[((i * no + j) * nv + a) * nv + b];
+          }
+
+    // Convergence on amplitude change; optional damping stabilizes stretched
+    // geometries.
+    double diff = 0;
+    for (std::size_t k = 0; k < tn.t1.size(); ++k)
+      diff += (tn.t1[k] - t.t1[k]) * (tn.t1[k] - t.t1[k]);
+    for (std::size_t k = 0; k < tn.t2.size(); ++k)
+      diff += (tn.t2[k] - t.t2[k]) * (tn.t2[k] - t.t2[k]);
+    diff = std::sqrt(diff);
+
+    if (options.damping > 0) {
+      const double mix = options.damping;
+      for (std::size_t k = 0; k < tn.t1.size(); ++k)
+        tn.t1[k] = (1 - mix) * tn.t1[k] + mix * t.t1[k];
+      for (std::size_t k = 0; k < tn.t2.size(); ++k)
+        tn.t2[k] = (1 - mix) * tn.t2[k] + mix * t.t2[k];
+    }
+    t = tn;
+    result.iterations = iter;
+    if (diff < options.amplitude_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.correlation_energy = cc_energy(t);
+  result.energy = reference_energy + result.correlation_energy;
+  return result;
+}
+
+}  // namespace q2::chem

@@ -1,0 +1,34 @@
+// Many-body perturbation and coupled-cluster baselines: MP2 and spin-orbital
+// CCSD (Stanton-Gauss-Watts-Bartlett intermediates). CCSD is the classical
+// reference curve of Fig. 7(b); for two-electron systems it is exact, which
+// the test suite exploits.
+#pragma once
+
+#include "chem/mo.hpp"
+
+namespace q2::chem {
+
+/// MP2 correlation energy for a closed-shell reference with `n_occ` doubly
+/// occupied spatial orbitals.
+double mp2_correlation_energy(const MoIntegrals& mo, int n_occ);
+
+struct CcsdOptions {
+  int max_iterations = 200;
+  double amplitude_tolerance = 1e-9;
+  double damping = 0.0;  ///< 0 = plain iteration; >0 mixes in old amplitudes
+};
+
+struct CcsdResult {
+  bool converged = false;
+  int iterations = 0;
+  double correlation_energy = 0.0;
+  double mp2_energy = 0.0;  ///< MP2 correlation, from the initial amplitudes
+  double energy = 0.0;      ///< HF reference energy + correlation
+};
+
+/// Closed-shell CCSD in the spin-orbital formulation. `reference_energy` is
+/// the HF total energy the correlation adds onto.
+CcsdResult ccsd(const MoIntegrals& mo, int n_occ, double reference_energy,
+                const CcsdOptions& options = {});
+
+}  // namespace q2::chem

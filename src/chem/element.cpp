@@ -1,0 +1,27 @@
+#include "chem/element.hpp"
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace q2::chem {
+namespace {
+
+constexpr std::array<const char*, 11> kSymbols = {
+    "", "H", "He", "Li", "Be", "B", "C", "N", "O", "F", "Ne"};
+
+}  // namespace
+
+int atomic_number(const std::string& symbol) {
+  for (int z = 1; z < int(kSymbols.size()); ++z)
+    if (symbol == kSymbols[std::size_t(z)]) return z;
+  throw Error("atomic_number: unknown element symbol " + symbol);
+}
+
+std::string element_symbol(int z) {
+  require(z >= 1 && z < int(kSymbols.size()),
+          "element_symbol: atomic number out of range");
+  return kSymbols[std::size_t(z)];
+}
+
+}  // namespace q2::chem

@@ -1,0 +1,13 @@
+// Periodic-table data for the elements this repo's basis sets cover.
+#pragma once
+
+#include <string>
+
+namespace q2::chem {
+
+/// Atomic number for a symbol like "H", "C", "O"; throws on unknown symbols.
+int atomic_number(const std::string& symbol);
+/// Symbol for an atomic number (1..10 supported).
+std::string element_symbol(int z);
+
+}  // namespace q2::chem

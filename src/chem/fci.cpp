@@ -1,0 +1,218 @@
+#include "chem/fci.hpp"
+
+#include <cmath>
+
+namespace q2::chem {
+namespace {
+
+// All n-choose-k bit masks over `n` bits, ascending.
+std::vector<std::uint64_t> combinations(std::size_t n, int k) {
+  std::vector<std::uint64_t> out;
+  if (k == 0) {
+    out.push_back(0);
+    return out;
+  }
+  if (std::size_t(k) > n) return out;
+  std::uint64_t mask = (std::uint64_t(1) << k) - 1;
+  const std::uint64_t limit = std::uint64_t(1) << n;
+  while (mask < limit) {
+    out.push_back(mask);
+    // Gosper's hack: next mask with the same popcount.
+    const std::uint64_t c = mask & (~mask + 1);
+    const std::uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return out;
+}
+
+inline int parity_below(std::uint64_t mask, int bit) {
+  const std::uint64_t below = (std::uint64_t(1) << bit) - 1;
+  return __builtin_popcountll(mask & below) & 1 ? -1 : 1;
+}
+
+inline std::vector<int> bits_of(std::uint64_t mask) {
+  std::vector<int> v;
+  while (mask) {
+    v.push_back(__builtin_ctzll(mask));
+    mask &= mask - 1;
+  }
+  return v;
+}
+
+}  // namespace
+
+FciSpace::FciSpace(std::size_t n_spatial, int n_alpha, int n_beta)
+    : n_spatial_(n_spatial), n_alpha_(n_alpha), n_beta_(n_beta) {
+  require(n_spatial <= 28, "FciSpace: too many orbitals");
+  const auto alphas = combinations(n_spatial, n_alpha);
+  const auto betas = combinations(n_spatial, n_beta);
+  dets_.reserve(alphas.size() * betas.size());
+  for (const auto a : alphas) {
+    // Spread alpha occupation over even bits.
+    std::uint64_t am = 0;
+    for (int p : bits_of(a)) am |= std::uint64_t(1) << (2 * p);
+    for (const auto b : betas) {
+      std::uint64_t bm = 0;
+      for (int p : bits_of(b)) bm |= std::uint64_t(1) << (2 * p + 1);
+      dets_.push_back(am | bm);
+    }
+  }
+  index_.reserve(dets_.size() * 2);
+  for (std::size_t i = 0; i < dets_.size(); ++i) index_[dets_[i]] = i;
+}
+
+std::size_t FciSpace::index_of(std::uint64_t mask) const {
+  const auto it = index_.find(mask);
+  require(it != index_.end(), "FciSpace::index_of: determinant not in space");
+  return it->second;
+}
+
+std::size_t FciSpace::hf_index() const {
+  std::uint64_t m = 0;
+  for (int p = 0; p < n_alpha_; ++p) m |= std::uint64_t(1) << (2 * p);
+  for (int p = 0; p < n_beta_; ++p) m |= std::uint64_t(1) << (2 * p + 1);
+  return index_of(m);
+}
+
+std::vector<double> FciSpace::diagonal(const SpinOrbitalIntegrals& so) const {
+  std::vector<double> d(dets_.size());
+  for (std::size_t i = 0; i < dets_.size(); ++i) {
+    const auto occ = bits_of(dets_[i]);
+    double e = so.core_energy;
+    for (int p : occ) e += so.h(std::size_t(p), std::size_t(p));
+    for (int p : occ)
+      for (int q : occ)
+        e += 0.5 * so.v(std::size_t(p), std::size_t(q), std::size_t(p),
+                        std::size_t(q));
+    d[i] = e;
+  }
+  return d;
+}
+
+std::vector<double> FciSpace::sigma(const SpinOrbitalIntegrals& so,
+                                    const std::vector<double>& x) const {
+  require(x.size() == dets_.size(), "FciSpace::sigma: vector size mismatch");
+  const std::size_t nso = so.n_spin;
+  std::vector<double> y(x.size(), 0.0);
+  const std::vector<double> diag = diagonal(so);
+
+  for (std::size_t i = 0; i < dets_.size(); ++i) {
+    const double xi = x[i];
+    y[i] += diag[i] * xi;
+    if (xi == 0.0) continue;
+    const std::uint64_t det = dets_[i];
+    const auto occ = bits_of(det);
+    std::vector<int> virt;
+    virt.reserve(nso - occ.size());
+    for (std::size_t q = 0; q < nso; ++q)
+      if (!(det >> q & 1)) virt.push_back(int(q));
+
+    // Single excitations p -> q (same spin).
+    for (int p : occ) {
+      for (int q : virt) {
+        if ((p ^ q) & 1) continue;  // spin flip: zero element
+        double elem = so.h(std::size_t(q), std::size_t(p));
+        for (int r : occ) {
+          if (r == p) continue;
+          elem += so.v(std::size_t(q), std::size_t(r), std::size_t(p),
+                       std::size_t(r));
+        }
+        if (elem == 0.0) continue;
+        int sign = parity_below(det, p);
+        const std::uint64_t m1 = det ^ (std::uint64_t(1) << p);
+        sign *= parity_below(m1, q);
+        const std::uint64_t m2 = m1 | (std::uint64_t(1) << q);
+        y[index_.at(m2)] += sign * elem * xi;
+      }
+    }
+
+    // Double excitations (p < q) -> (r < s), Sz conserving.
+    for (std::size_t a = 0; a < occ.size(); ++a) {
+      for (std::size_t b = a + 1; b < occ.size(); ++b) {
+        const int p = occ[a], q = occ[b];
+        const int spin_pq = (p & 1) + (q & 1);
+        for (std::size_t cidx = 0; cidx < virt.size(); ++cidx) {
+          for (std::size_t didx = cidx + 1; didx < virt.size(); ++didx) {
+            const int r = virt[cidx], s = virt[didx];
+            if ((r & 1) + (s & 1) != spin_pq) continue;
+            const double v = so.v(std::size_t(r), std::size_t(s),
+                                  std::size_t(p), std::size_t(q));
+            if (v == 0.0) continue;
+            // |D'> = a+_r a+_s a_q a_p |D>, applied right to left.
+            int sign = parity_below(det, p);
+            std::uint64_t m = det ^ (std::uint64_t(1) << p);
+            sign *= parity_below(m, q);
+            m ^= std::uint64_t(1) << q;
+            sign *= parity_below(m, s);
+            m |= std::uint64_t(1) << s;
+            sign *= parity_below(m, r);
+            m |= std::uint64_t(1) << r;
+            y[index_.at(m)] += sign * v * xi;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+la::RMatrix FciSpace::one_rdm(const std::vector<double>& ci) const {
+  la::RMatrix rdm(n_spatial_, n_spatial_);
+  for (std::size_t i = 0; i < dets_.size(); ++i) {
+    const double xi = ci[i];
+    if (xi == 0.0) continue;
+    const std::uint64_t det = dets_[i];
+    // Diagonal: occupation numbers.
+    for (int so_idx : bits_of(det))
+      rdm(std::size_t(so_idx / 2), std::size_t(so_idx / 2)) += xi * xi;
+    // Off-diagonal: <D'|a+_P a_Q|D> with P virtual (same spin).
+    for (int qi : bits_of(det)) {
+      for (std::size_t pi = 0; pi < 2 * n_spatial_; ++pi) {
+        if (det >> pi & 1) continue;
+        if ((int(pi) ^ qi) & 1) continue;
+        int sign = parity_below(det, qi);
+        std::uint64_t m = det ^ (std::uint64_t(1) << qi);
+        sign *= parity_below(m, int(pi));
+        m |= std::uint64_t(1) << pi;
+        const auto it = index_.find(m);
+        if (it == index_.end()) continue;
+        rdm(pi / 2, std::size_t(qi / 2)) += sign * ci[it->second] * xi;
+      }
+    }
+  }
+  return rdm;
+}
+
+FciResult fci_ground_state(const MoIntegrals& mo, int n_alpha, int n_beta,
+                           const la::DavidsonOptions& options) {
+  const FciSpace space(mo.n_orbitals(), n_alpha, n_beta);
+  const SpinOrbitalIntegrals so = to_spin_orbitals(mo);
+
+  std::vector<double> guess(space.dim(), 0.0);
+  guess[space.hf_index()] = 1.0;
+
+  auto apply = [&](const std::vector<double>& x) { return space.sigma(so, x); };
+  const auto diag = space.diagonal(so);
+  const la::DavidsonResult r = la::davidson_lowest(apply, diag, guess, options);
+
+  FciResult out;
+  out.converged = r.converged;
+  out.energy = r.eigenvalue;
+  out.dim = space.dim();
+  out.iterations = int(r.iterations);
+  out.ci = r.eigenvector;
+  return out;
+}
+
+double fci_expectation(const FciSpace& space, const SpinOrbitalIntegrals& so,
+                       const std::vector<double>& ci) {
+  const std::vector<double> hx = space.sigma(so, ci);
+  double e = 0, nrm = 0;
+  for (std::size_t i = 0; i < ci.size(); ++i) {
+    e += ci[i] * hx[i];
+    nrm += ci[i] * ci[i];
+  }
+  return e / nrm;
+}
+
+}  // namespace q2::chem

@@ -1,0 +1,63 @@
+// Determinant full configuration interaction: the exact-diagonalization
+// baseline of Fig. 7(a) and the reference fragment solver for DMET. Works in
+// the spin-orbital determinant basis (Slater-Condon rules) with a matrix-free
+// Davidson solve.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chem/mo.hpp"
+#include "linalg/davidson.hpp"
+
+namespace q2::chem {
+
+/// The (n_alpha, n_beta) determinant space over `n_spatial` orbitals.
+/// Spin-orbital P = 2p + sigma occupies bit P of the determinant mask.
+class FciSpace {
+ public:
+  FciSpace(std::size_t n_spatial, int n_alpha, int n_beta);
+
+  std::size_t dim() const { return dets_.size(); }
+  std::size_t n_spatial() const { return n_spatial_; }
+  const std::vector<std::uint64_t>& determinants() const { return dets_; }
+  std::size_t index_of(std::uint64_t mask) const;
+  /// The Hartree-Fock determinant's index (lowest orbitals filled).
+  std::size_t hf_index() const;
+
+  /// y = H x with H defined by the spin-orbital integrals (core energy is
+  /// added as a diagonal shift).
+  std::vector<double> sigma(const SpinOrbitalIntegrals& so,
+                            const std::vector<double>& x) const;
+  /// Diagonal of H (Davidson preconditioner).
+  std::vector<double> diagonal(const SpinOrbitalIntegrals& so) const;
+
+  /// Spin-summed one-particle RDM gamma_pq = <a+_p a_q> (spatial indices).
+  la::RMatrix one_rdm(const std::vector<double>& ci) const;
+
+ private:
+  std::size_t n_spatial_;
+  int n_alpha_, n_beta_;
+  std::vector<std::uint64_t> dets_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+struct FciResult {
+  bool converged = false;
+  double energy = 0.0;  ///< total (includes core energy)
+  std::size_t dim = 0;
+  int iterations = 0;
+  std::vector<double> ci;
+};
+
+/// Ground state in the given spin sector.
+FciResult fci_ground_state(const MoIntegrals& mo, int n_alpha, int n_beta,
+                           const la::DavidsonOptions& options = {});
+
+/// <ci| H' |ci> for a (possibly different) Hamiltonian over the same space —
+/// used for DMET fragment energies with the FCI solver.
+double fci_expectation(const FciSpace& space, const SpinOrbitalIntegrals& so,
+                       const std::vector<double>& ci);
+
+}  // namespace q2::chem

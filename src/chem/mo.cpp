@@ -1,0 +1,134 @@
+#include "chem/mo.hpp"
+
+#include "linalg/gemm.hpp"
+
+namespace q2::chem {
+
+MoIntegrals::MoIntegrals(std::size_t n_orbitals, double core_energy)
+    : n_(n_orbitals),
+      e_core_(core_energy),
+      h_(n_orbitals, n_orbitals),
+      eri_(n_orbitals * n_orbitals * n_orbitals * n_orbitals, 0.0) {}
+
+MoIntegrals transform_to_mo(const IntegralTables& ints, const la::RMatrix& c,
+                            double nuclear_repulsion) {
+  const std::size_t nao = c.rows(), nmo = c.cols();
+  MoIntegrals mo(nmo, nuclear_repulsion);
+
+  // One-body: h_mo = C^T (T + V) C.
+  const la::RMatrix hcore = ints.kinetic + ints.nuclear;
+  const la::RMatrix hmo = la::matmul(la::matmul(c, hcore, la::Op::kTrans), c);
+  for (std::size_t p = 0; p < nmo; ++p)
+    for (std::size_t q = 0; q < nmo; ++q) mo.h(p, q) = hmo(p, q);
+
+  // Two-body: four quarter-transforms, O(N^5).
+  std::vector<double> t1(nao * nao * nao * nmo, 0.0);
+  for (std::size_t p = 0; p < nao; ++p)
+    for (std::size_t q = 0; q < nao; ++q)
+      for (std::size_t r = 0; r < nao; ++r)
+        for (std::size_t s = 0; s < nao; ++s) {
+          const double v = ints.eri(p, q, r, s);
+          if (v == 0.0) continue;
+          for (std::size_t l = 0; l < nmo; ++l)
+            t1[((p * nao + q) * nao + r) * nmo + l] += v * c(s, l);
+        }
+  std::vector<double> t2(nao * nao * nmo * nmo, 0.0);
+  for (std::size_t p = 0; p < nao; ++p)
+    for (std::size_t q = 0; q < nao; ++q)
+      for (std::size_t r = 0; r < nao; ++r)
+        for (std::size_t k = 0; k < nmo; ++k) {
+          const double v = t1[((p * nao + q) * nao + r) * nmo + k];
+          if (v == 0.0) continue;
+          for (std::size_t l = 0; l < nmo; ++l)
+            t2[((p * nao + q) * nmo + k) * nmo + l] += v * c(r, l);
+        }
+  std::vector<double> t3(nao * nmo * nmo * nmo, 0.0);
+  for (std::size_t p = 0; p < nao; ++p)
+    for (std::size_t q = 0; q < nao; ++q)
+      for (std::size_t k = 0; k < nmo; ++k)
+        for (std::size_t l = 0; l < nmo; ++l) {
+          const double v = t2[((p * nao + q) * nmo + k) * nmo + l];
+          if (v == 0.0) continue;
+          for (std::size_t m = 0; m < nmo; ++m)
+            t3[((p * nmo + m) * nmo + k) * nmo + l] += v * c(q, m);
+        }
+  for (std::size_t p = 0; p < nao; ++p)
+    for (std::size_t m = 0; m < nmo; ++m)
+      for (std::size_t k = 0; k < nmo; ++k)
+        for (std::size_t l = 0; l < nmo; ++l) {
+          const double v = t3[((p * nmo + m) * nmo + k) * nmo + l];
+          if (v == 0.0) continue;
+          for (std::size_t o = 0; o < nmo; ++o)
+            mo.eri(o, m, k, l) += v * c(p, o);
+        }
+  return mo;
+}
+
+MoIntegrals make_active_space(const MoIntegrals& mo, std::size_t n_frozen,
+                              std::size_t n_active) {
+  require(n_frozen + n_active <= mo.n_orbitals(),
+          "make_active_space: window exceeds orbital count");
+  MoIntegrals act(n_active, mo.core_energy());
+
+  // Frozen-core energy: 2 sum_i h_ii + sum_ij [2(ii|jj) - (ij|ji)].
+  double e_frozen = 0;
+  for (std::size_t i = 0; i < n_frozen; ++i) {
+    e_frozen += 2.0 * mo.h(i, i);
+    for (std::size_t j = 0; j < n_frozen; ++j)
+      e_frozen += 2.0 * mo.eri(i, i, j, j) - mo.eri(i, j, j, i);
+  }
+  act.set_core_energy(mo.core_energy() + e_frozen);
+
+  // Effective one-body term in the active window.
+  for (std::size_t p = 0; p < n_active; ++p) {
+    for (std::size_t q = 0; q < n_active; ++q) {
+      double v = mo.h(n_frozen + p, n_frozen + q);
+      for (std::size_t i = 0; i < n_frozen; ++i)
+        v += 2.0 * mo.eri(n_frozen + p, n_frozen + q, i, i) -
+             mo.eri(n_frozen + p, i, i, n_frozen + q);
+      act.h(p, q) = v;
+    }
+  }
+  for (std::size_t p = 0; p < n_active; ++p)
+    for (std::size_t q = 0; q < n_active; ++q)
+      for (std::size_t r = 0; r < n_active; ++r)
+        for (std::size_t s = 0; s < n_active; ++s)
+          act.eri(p, q, r, s) =
+              mo.eri(n_frozen + p, n_frozen + q, n_frozen + r, n_frozen + s);
+  return act;
+}
+
+SpinOrbitalIntegrals to_spin_orbitals(const MoIntegrals& mo) {
+  const std::size_t n = mo.n_orbitals();
+  SpinOrbitalIntegrals so;
+  so.n_spin = 2 * n;
+  so.core_energy = mo.core_energy();
+  so.h1.assign(so.n_spin * so.n_spin, 0.0);
+  so.anti.assign(so.n_spin * so.n_spin * so.n_spin * so.n_spin, 0.0);
+
+  auto spatial = [](std::size_t so_idx) { return so_idx / 2; };
+  auto spin = [](std::size_t so_idx) { return so_idx % 2; };
+
+  for (std::size_t p = 0; p < so.n_spin; ++p)
+    for (std::size_t q = 0; q < so.n_spin; ++q)
+      if (spin(p) == spin(q))
+        so.h1[p * so.n_spin + q] = mo.h(spatial(p), spatial(q));
+
+  // <PQ||RS> = <PQ|RS> - <PQ|SR>, with <PQ|RS> = (pr|qs) delta_spin(p,r)
+  // delta_spin(q,s) in chemist->physicist translation.
+  for (std::size_t p = 0; p < so.n_spin; ++p)
+    for (std::size_t q = 0; q < so.n_spin; ++q)
+      for (std::size_t r = 0; r < so.n_spin; ++r)
+        for (std::size_t s = 0; s < so.n_spin; ++s) {
+          double direct = 0, exchange = 0;
+          if (spin(p) == spin(r) && spin(q) == spin(s))
+            direct = mo.eri(spatial(p), spatial(r), spatial(q), spatial(s));
+          if (spin(p) == spin(s) && spin(q) == spin(r))
+            exchange = mo.eri(spatial(p), spatial(s), spatial(q), spatial(r));
+          so.anti[((p * so.n_spin + q) * so.n_spin + r) * so.n_spin + s] =
+              direct - exchange;
+        }
+  return so;
+}
+
+}  // namespace q2::chem

@@ -1,0 +1,66 @@
+// Molecular-orbital integrals: AO -> MO transformation, frozen-core active
+// spaces, and the spin-orbital expansion consumed by FCI / CC / the qubit
+// mapping. Spatial integrals use chemist notation (pq|rs).
+#pragma once
+
+#include <vector>
+
+#include "chem/integrals.hpp"
+#include "chem/scf.hpp"
+
+namespace q2::chem {
+
+class MoIntegrals {
+ public:
+  MoIntegrals() = default;
+  MoIntegrals(std::size_t n_orbitals, double core_energy);
+
+  std::size_t n_orbitals() const { return n_; }
+  double core_energy() const { return e_core_; }
+  void set_core_energy(double e) { e_core_ = e; }
+
+  double h(std::size_t p, std::size_t q) const { return h_(p, q); }
+  double& h(std::size_t p, std::size_t q) { return h_(p, q); }
+  /// Chemist-notation (pq|rs).
+  double eri(std::size_t p, std::size_t q, std::size_t r, std::size_t s) const {
+    return eri_[((p * n_ + q) * n_ + r) * n_ + s];
+  }
+  double& eri(std::size_t p, std::size_t q, std::size_t r, std::size_t s) {
+    return eri_[((p * n_ + q) * n_ + r) * n_ + s];
+  }
+
+  const la::RMatrix& h_matrix() const { return h_; }
+
+ private:
+  std::size_t n_ = 0;
+  double e_core_ = 0.0;
+  la::RMatrix h_;
+  std::vector<double> eri_;
+};
+
+/// Full AO -> MO transform (O(N^5) quarter transforms).
+MoIntegrals transform_to_mo(const IntegralTables& ints, const la::RMatrix& c,
+                            double nuclear_repulsion);
+
+/// Freeze the first `n_frozen` (doubly occupied) orbitals and keep the next
+/// `n_active`; their mean field folds into the core energy / one-body term.
+MoIntegrals make_active_space(const MoIntegrals& mo, std::size_t n_frozen,
+                              std::size_t n_active);
+
+/// Spin-orbital integrals: index 2p = (p, alpha), 2p+1 = (p, beta).
+/// h1(P, Q) and antisymmetrized two-body <PQ||RS> (physicist notation).
+struct SpinOrbitalIntegrals {
+  std::size_t n_spin = 0;
+  double core_energy = 0.0;
+  std::vector<double> h1;    ///< n^2
+  std::vector<double> anti;  ///< n^4, <PQ||RS>
+
+  double h(std::size_t p, std::size_t q) const { return h1[p * n_spin + q]; }
+  double v(std::size_t p, std::size_t q, std::size_t r, std::size_t s) const {
+    return anti[((p * n_spin + q) * n_spin + r) * n_spin + s];
+  }
+};
+
+SpinOrbitalIntegrals to_spin_orbitals(const MoIntegrals& mo);
+
+}  // namespace q2::chem

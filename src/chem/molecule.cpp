@@ -1,0 +1,100 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace q2::chem {
+
+int Molecule::n_electrons() const {
+  int n = 0;
+  for (const auto& a : atoms_) n += a.z;
+  return n - charge_;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      double r2 = 0;
+      for (int d = 0; d < 3; ++d) {
+        const double dx = atoms_[i].xyz[d] - atoms_[j].xyz[d];
+        r2 += dx * dx;
+      }
+      e += double(atoms_[i].z) * double(atoms_[j].z) / std::sqrt(r2);
+    }
+  }
+  return e;
+}
+
+Molecule Molecule::hydrogen_chain(int n, double spacing_bohr) {
+  require(n >= 1, "hydrogen_chain: need atoms");
+  std::vector<Atom> atoms;
+  for (int i = 0; i < n; ++i)
+    atoms.push_back({1, {double(i) * spacing_bohr, 0, 0}});
+  return Molecule(std::move(atoms));
+}
+
+Molecule Molecule::hydrogen_ring(int n, double bond_bohr) {
+  require(n >= 3, "hydrogen_ring: need at least 3 atoms");
+  // Circumradius such that neighbouring atoms are bond_bohr apart.
+  const double radius = bond_bohr / (2.0 * std::sin(kPi / n));
+  std::vector<Atom> atoms;
+  for (int i = 0; i < n; ++i) {
+    const double phi = 2.0 * kPi * i / n;
+    atoms.push_back({1, {radius * std::cos(phi), radius * std::sin(phi), 0}});
+  }
+  return Molecule(std::move(atoms));
+}
+
+Molecule Molecule::h2(double r_bohr) {
+  return Molecule({{1, {0, 0, 0}}, {1, {r_bohr, 0, 0}}});
+}
+
+Molecule Molecule::lih(double r_bohr) {
+  return Molecule({{3, {0, 0, 0}}, {1, {r_bohr, 0, 0}}});
+}
+
+Molecule Molecule::h2o(double r_oh_angstrom, double angle_deg) {
+  const double r = r_oh_angstrom * kAngstromToBohr;
+  const double half = 0.5 * angle_deg * kPi / 180.0;
+  return Molecule({
+      {8, {0, 0, 0}},
+      {1, {r * std::sin(half), r * std::cos(half), 0}},
+      {1, {-r * std::sin(half), r * std::cos(half), 0}},
+  });
+}
+
+Molecule Molecule::h2_trimer(double r_bohr, double separation_bohr) {
+  // Three H2 units with staggered orientations (0, 50, 105 degrees): a
+  // low-symmetry cluster, so few Hamiltonian coefficients vanish — matching
+  // the paper's circuit count regime for "(H2)3".
+  std::vector<Atom> atoms;
+  const double angles[3] = {0.0, 50.0 * kPi / 180.0, 105.0 * kPi / 180.0};
+  for (int m = 0; m < 3; ++m) {
+    const double y = double(m) * separation_bohr;
+    const double dx = 0.5 * r_bohr * std::cos(angles[m]);
+    const double dz = 0.5 * r_bohr * std::sin(angles[m]);
+    atoms.push_back({1, {-dx, y, -dz}});
+    atoms.push_back({1, {dx, y, dz}});
+  }
+  return Molecule(std::move(atoms));
+}
+
+Molecule Molecule::carbon_ring(int n, double r1_bohr, double r2_bohr) {
+  require(n >= 4 && n % 2 == 0, "carbon_ring: need an even ring");
+  // Place atoms on a circle with alternating arc lengths proportional to the
+  // two bond lengths; the circumradius follows from closing the polygon.
+  const double total = (r1_bohr + r2_bohr) * (n / 2);
+  const double radius = total / (2.0 * kPi);
+  std::vector<Atom> atoms;
+  double arc = 0;
+  for (int i = 0; i < n; ++i) {
+    const double phi = arc / radius;
+    atoms.push_back({6, {radius * std::cos(phi), radius * std::sin(phi), 0}});
+    arc += (i % 2 == 0) ? r1_bohr : r2_bohr;
+  }
+  return Molecule(std::move(atoms));
+}
+
+}  // namespace q2::chem

@@ -1,0 +1,53 @@
+// Molecular geometries. Coordinates are in Bohr (atomic units) internally;
+// the named constructors that take Angstrom say so explicitly.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace q2::chem {
+
+inline constexpr double kAngstromToBohr = 1.8897259886;
+
+struct Atom {
+  int z = 1;
+  std::array<double, 3> xyz{0, 0, 0};  ///< Bohr
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms, int charge = 0)
+      : atoms_(std::move(atoms)), charge_(charge) {}
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t n_atoms() const { return atoms_.size(); }
+  int charge() const { return charge_; }
+
+  int n_electrons() const;
+  double nuclear_repulsion() const;
+
+  /// Linear H_n chain with the given H-H spacing (Bohr) along x.
+  static Molecule hydrogen_chain(int n, double spacing_bohr);
+  /// Regular H_n ring with the given nearest-neighbour bond length (Bohr).
+  static Molecule hydrogen_ring(int n, double bond_bohr);
+  /// H2 at bond length r (Bohr).
+  static Molecule h2(double r_bohr);
+  /// LiH at bond length r (Bohr); default near equilibrium.
+  static Molecule lih(double r_bohr = 3.015);
+  /// Water at the experimental geometry (r_OH Angstrom, angle degrees).
+  static Molecule h2o(double r_oh_angstrom = 0.958,
+                      double angle_deg = 104.4776);
+  /// Three stacked H2 molecules — the "(H2)3" system of Figs. 8/9.
+  static Molecule h2_trimer(double r_bohr = 1.4, double separation_bohr = 2.5);
+  /// Planar C_n ring with alternating bond lengths r1/r2 (Bohr) — the
+  /// bond-length-alternation scan geometry of Fig. 7(b). n must be even.
+  static Molecule carbon_ring(int n, double r1_bohr, double r2_bohr);
+
+ private:
+  std::vector<Atom> atoms_;
+  int charge_ = 0;
+};
+
+}  // namespace q2::chem

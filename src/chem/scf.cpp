@@ -1,0 +1,177 @@
+#include "chem/scf.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "linalg/eigh.hpp"
+#include "linalg/gemm.hpp"
+
+namespace q2::chem {
+
+la::RMatrix lowdin_orthogonalizer(const la::RMatrix& overlap) {
+  const la::EighResultReal eg = la::eigh(overlap);
+  const std::size_t n = overlap.rows();
+  la::RMatrix x(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    require(eg.values[i] > 1e-10, "lowdin: overlap matrix is singular");
+    const double inv_sqrt = 1.0 / std::sqrt(eg.values[i]);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        x(r, c) += eg.vectors(r, i) * inv_sqrt * eg.vectors(c, i);
+  }
+  return x;
+}
+
+namespace {
+
+la::RMatrix build_g(const EriTable& eri, const la::RMatrix& d) {
+  const std::size_t n = d.rows();
+  la::RMatrix g(n, n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q <= p; ++q) {
+      double sum = 0;
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t s = 0; s < n; ++s)
+          sum += d(r, s) * (eri(p, q, r, s) - 0.5 * eri(p, r, q, s));
+      g(p, q) = g(q, p) = sum;
+    }
+  }
+  return g;
+}
+
+// Solve the DIIS linear system by Gaussian elimination with partial pivoting.
+std::vector<double> solve_diis(std::vector<std::vector<double>> b,
+                               std::vector<double> rhs) {
+  const std::size_t n = rhs.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(b[r][col]) > std::abs(b[piv][col])) piv = r;
+    std::swap(b[col], b[piv]);
+    std::swap(rhs[col], rhs[piv]);
+    if (std::abs(b[col][col]) < 1e-14) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = b[r][col] / b[col][col];
+      for (std::size_t c = col; c < n; ++c) b[r][c] -= f * b[col][c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::abs(b[i][i]) > 1e-14 ? rhs[i] / b[i][i] : 0.0;
+  return x;
+}
+
+}  // namespace
+
+ScfResult rhf(const Molecule& molecule, const BasisSet& basis,
+              const IntegralTables& ints, const ScfOptions& options) {
+  const std::size_t n = basis.size();
+  const int n_electrons = molecule.n_electrons();
+  require(n_electrons % 2 == 0, "rhf: open shells are not supported");
+  const int nocc = n_electrons / 2;
+  require(std::size_t(nocc) <= n, "rhf: basis too small for electron count");
+
+  const la::RMatrix hcore = ints.kinetic + ints.nuclear;
+  const la::RMatrix x = lowdin_orthogonalizer(ints.overlap);
+
+  ScfResult result;
+  result.nuclear_repulsion = molecule.nuclear_repulsion();
+  result.n_occupied = nocc;
+
+  // Core-Hamiltonian guess.
+  la::RMatrix c;
+  {
+    const la::RMatrix hp = la::matmul(la::matmul(x, hcore, la::Op::kTrans), x);
+    const la::EighResultReal eg = la::eigh(hp);
+    c = la::matmul(x, eg.vectors);
+  }
+  auto density_of = [&](const la::RMatrix& coeff) {
+    la::RMatrix d(n, n);
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q) {
+        double s = 0;
+        for (int i = 0; i < nocc; ++i) s += coeff(p, std::size_t(i)) * coeff(q, std::size_t(i));
+        d(p, q) = 2.0 * s;
+      }
+    return d;
+  };
+  la::RMatrix d = density_of(c);
+
+  std::deque<la::RMatrix> diis_focks, diis_errors;
+  double e_old = 0;
+  la::RMatrix fock;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    fock = hcore + build_g(ints.eri, d);
+
+    // DIIS error e = X^T (FDS - SDF) X.
+    const la::RMatrix fds =
+        la::matmul(la::matmul(fock, d), ints.overlap);
+    la::RMatrix err = fds - fds.transposed();
+    err = la::matmul(la::matmul(x, err, la::Op::kTrans), x);
+    diis_focks.push_back(fock);
+    diis_errors.push_back(err);
+    if (diis_focks.size() > options.diis_size) {
+      diis_focks.pop_front();
+      diis_errors.pop_front();
+    }
+
+    la::RMatrix fock_eff = fock;
+    if (diis_focks.size() >= 2) {
+      const std::size_t m = diis_focks.size();
+      std::vector<std::vector<double>> b(m + 1, std::vector<double>(m + 1, -1.0));
+      std::vector<double> rhs(m + 1, 0.0);
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j) {
+          double dot = 0;
+          for (std::size_t k = 0; k < diis_errors[i].size(); ++k)
+            dot += diis_errors[i].data()[k] * diis_errors[j].data()[k];
+          b[i][j] = dot;
+        }
+      b[m][m] = 0.0;
+      rhs[m] = -1.0;
+      const std::vector<double> w = solve_diis(b, rhs);
+      fock_eff = la::RMatrix(n, n);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t k = 0; k < fock_eff.size(); ++k)
+          fock_eff.data()[k] += w[i] * diis_focks[i].data()[k];
+      }
+    }
+
+    const la::RMatrix fp = la::matmul(la::matmul(x, fock_eff, la::Op::kTrans), x);
+    const la::EighResultReal eg = la::eigh(fp);
+    c = la::matmul(x, eg.vectors);
+    const la::RMatrix d_new = density_of(c);
+
+    double e_elec = 0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q)
+        e_elec += 0.5 * d_new(p, q) * (hcore(p, q) + fock(p, q));
+
+    double d_diff = 0;
+    for (std::size_t k = 0; k < d.size(); ++k)
+      d_diff = std::max(d_diff, std::abs(d_new.data()[k] - d.data()[k]));
+    d = d_new;
+
+    result.iterations = iter;
+    result.orbital_energies = eg.values;
+    if (std::abs(e_elec - e_old) < options.energy_tolerance &&
+        d_diff < options.density_tolerance) {
+      result.converged = true;
+      result.electronic_energy = e_elec;
+      break;
+    }
+    e_old = e_elec;
+    result.electronic_energy = e_elec;
+  }
+
+  result.coefficients = c;
+  result.density = d;
+  result.fock = hcore + build_g(ints.eri, d);
+  result.energy = result.electronic_energy + result.nuclear_repulsion;
+  return result;
+}
+
+}  // namespace q2::chem

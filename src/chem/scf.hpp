@@ -1,0 +1,37 @@
+// Restricted Hartree-Fock with DIIS convergence acceleration — the low-level
+// whole-system calculation at the top of the DMET flowchart (Fig. 3, step 1).
+#pragma once
+
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace q2::chem {
+
+struct ScfOptions {
+  int max_iterations = 200;
+  double energy_tolerance = 1e-10;
+  double density_tolerance = 1e-8;
+  std::size_t diis_size = 8;
+};
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;              ///< total energy incl. nuclear repulsion
+  double electronic_energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  la::RMatrix coefficients;         ///< MO coefficients, AO x MO
+  std::vector<double> orbital_energies;
+  la::RMatrix density;              ///< AO density, D = 2 C_occ C_occ^T
+  la::RMatrix fock;                 ///< converged AO Fock matrix
+  int n_occupied = 0;               ///< doubly occupied orbital count
+};
+
+ScfResult rhf(const Molecule& molecule, const BasisSet& basis,
+              const IntegralTables& ints, const ScfOptions& options = {});
+
+/// S^{-1/2} Loewdin orthogonalizer (also used by the DMET fragmenter).
+la::RMatrix lowdin_orthogonalizer(const la::RMatrix& overlap);
+
+}  // namespace q2::chem

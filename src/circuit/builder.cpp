@@ -1,0 +1,136 @@
+#include "circuit/builder.hpp"
+
+#include "linalg/qr.hpp"
+
+namespace q2::circ {
+namespace {
+
+using pauli::P;
+using pauli::PauliString;
+
+// Emit the basis changes, CNOT ladder and (caller-supplied) RZ implementing
+// exp(-i theta/2 P); `emit_rz` lets the fixed-angle and parametric variants
+// share the structure.
+template <typename EmitRz>
+void pauli_evolution_impl(Circuit& c, const PauliString& p, EmitRz emit_rz) {
+  const std::vector<std::size_t> sup = p.support();
+  if (sup.empty()) return;  // global phase only; irrelevant for expectation
+
+  // Basis changes into the Z eigenbasis.
+  for (std::size_t q : sup) {
+    switch (p.get(q)) {
+      case P::X: c.append(make_h(int(q))); break;
+      case P::Y:
+        c.append(make_sdg(int(q)));
+        c.append(make_h(int(q)));
+        break;
+      default: break;
+    }
+  }
+  // Parity ladder onto the last support qubit.
+  for (std::size_t i = 0; i + 1 < sup.size(); ++i)
+    c.append(make_cnot(int(sup[i]), int(sup[i + 1])));
+  emit_rz(int(sup.back()));
+  for (std::size_t i = sup.size() - 1; i-- > 0;)
+    c.append(make_cnot(int(sup[i]), int(sup[i + 1])));
+  // Undo basis changes.
+  for (std::size_t q : sup) {
+    switch (p.get(q)) {
+      case P::X: c.append(make_h(int(q))); break;
+      case P::Y:
+        c.append(make_h(int(q)));
+        c.append(make_s(int(q)));
+        break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace
+
+Circuit hartree_fock_prep(int n_qubits, int n_electrons) {
+  require(n_electrons <= n_qubits, "hartree_fock_prep: too many electrons");
+  Circuit c(n_qubits);
+  for (int q = 0; q < n_electrons; ++q) c.append(make_x(q));
+  return c;
+}
+
+void append_pauli_evolution(Circuit& c, const PauliString& p, double theta) {
+  pauli_evolution_impl(c, p, [&](int q) { c.append(make_rz(q, theta)); });
+}
+
+void append_pauli_evolution_param(Circuit& c, const PauliString& p,
+                                  int param_index, double scale) {
+  pauli_evolution_impl(
+      c, p, [&](int q) { c.append(make_rz_param(q, param_index, scale)); });
+}
+
+Circuit hadamard_test_measurement(const pauli::PauliString& p, int ancilla) {
+  Circuit c(ancilla + 1);
+  c.append(make_h(ancilla));
+  for (std::size_t q : p.support()) {
+    switch (p.get(q)) {
+      case P::X:
+        c.append(make_cnot(ancilla, int(q)));
+        break;
+      case P::Y:
+        // controlled-Y = (I (x) S) CX (I (x) Sdg)
+        c.append(make_sdg(int(q)));
+        c.append(make_cnot(ancilla, int(q)));
+        c.append(make_s(int(q)));
+        break;
+      case P::Z:
+        c.append(make_cz(ancilla, int(q)));
+        break;
+      default: break;
+    }
+  }
+  c.append(make_h(ancilla));
+  return c;
+}
+
+namespace {
+
+std::array<cplx, 16> random_two_qubit_unitary(Rng& rng) {
+  const la::CMatrix u = la::random_unitary(4, rng);
+  std::array<cplx, 16> m;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) m[i * 4 + j] = u(i, j);
+  return m;
+}
+
+// Entangle qubits [s, s+block) with a short brickwork of random two-qubit
+// unitaries — a dense unitary on the block, compiled to two-qubit gates.
+void append_block_unitary(Circuit& c, int s, int block, Rng& rng) {
+  for (int round = 0; round < 2; ++round) {
+    for (int q = s + (round % 2); q + 1 < s + block; q += 2)
+      c.append(make_u2(q, q + 1, random_two_qubit_unitary(rng)));
+  }
+}
+
+}  // namespace
+
+Circuit block_entangling_circuit(int n_qubits, int block, int layers, Rng& rng) {
+  require(block >= 2 && block <= n_qubits, "block_entangling_circuit: bad block");
+  Circuit c(n_qubits);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int s = 0; s + block <= n_qubits; s += block)
+      append_block_unitary(c, s, block, rng);
+    // Staggered second sweep couples neighbouring blocks, exactly the
+    // "correlations between neighbouring orbitals" structure of Fig. 2(c).
+    for (int s = block / 2; s + block <= n_qubits; s += block)
+      append_block_unitary(c, s, block, rng);
+  }
+  return c;
+}
+
+Circuit brickwork_circuit(int n_qubits, int layers, Rng& rng) {
+  Circuit c(n_qubits);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = layer % 2; q + 1 < n_qubits; q += 2)
+      c.append(make_u2(q, q + 1, random_two_qubit_unitary(rng)));
+  }
+  return c;
+}
+
+}  // namespace q2::circ

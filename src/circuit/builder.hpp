@@ -1,0 +1,38 @@
+// Circuit construction: reference-state preparation, Pauli-exponential
+// compilation (the building block of Trotterized UCC, Fig. 5), Hadamard-test
+// measurement circuits, and the synthetic workload circuits used by the
+// figure benches.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace q2::circ {
+
+/// X gates on the first `n_electrons` qubits: the Hartree-Fock reference
+/// |1...10...0> under the Jordan-Wigner convention.
+Circuit hartree_fock_prep(int n_qubits, int n_electrons);
+
+/// Appends gates implementing exp(-i theta/2 * P) with a fixed angle.
+void append_pauli_evolution(Circuit& c, const pauli::PauliString& p,
+                            double theta);
+/// Same, but the RZ angle binds to params[param_index] * scale at run time.
+void append_pauli_evolution_param(Circuit& c, const pauli::PauliString& p,
+                                  int param_index, double scale);
+
+/// The Hadamard-test measurement part for Pauli string `p`: qubit `ancilla`
+/// carries H, controlled-P, H. Measuring <Z_ancilla> afterwards yields
+/// Re<psi|P|psi> (paper Fig. 5, the per-Pauli-string circuit tail).
+Circuit hadamard_test_measurement(const pauli::PauliString& p, int ancilla);
+
+/// Fig. 2(c) workload: layers of random unitaries entangling `block` (default
+/// 4) consecutive qubits, staggered so the state's bond dimension saturates
+/// at 2^(block/2+1) regardless of n.
+Circuit block_entangling_circuit(int n_qubits, int block, int layers, Rng& rng);
+
+/// Random nearest-neighbour brickwork of two-qubit unitaries (the x86
+/// comparison workload of §IV-B).
+Circuit brickwork_circuit(int n_qubits, int layers, Rng& rng);
+
+}  // namespace q2::circ

@@ -1,0 +1,48 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace q2::circ {
+
+void Circuit::append(Gate g) {
+  require(g.qubits[0] >= 0 && g.qubits[0] < n_qubits_,
+          "Circuit::append: qubit out of range");
+  if (g.is_two_qubit())
+    require(g.qubits[1] >= 0 && g.qubits[1] < n_qubits_,
+            "Circuit::append: qubit out of range");
+  gates_.push_back(std::move(g));
+}
+
+void Circuit::append(const Circuit& other) {
+  require(other.n_qubits_ <= n_qubits_,
+          "Circuit::append: subcircuit has more qubits");
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  return std::size_t(std::count_if(gates_.begin(), gates_.end(),
+                                   [](const Gate& g) { return g.is_two_qubit(); }));
+}
+
+std::size_t Circuit::parameter_count() const {
+  int max_index = -1;
+  for (const auto& g : gates_) max_index = std::max(max_index, g.param_index);
+  return std::size_t(max_index + 1);
+}
+
+std::size_t Circuit::memory_bytes() const {
+  std::size_t bytes = sizeof(Circuit) + gates_.capacity() * sizeof(Gate);
+  for (const auto& g : gates_) bytes += g.matrix.capacity() * sizeof(cplx);
+  return bytes;
+}
+
+bool Circuit::is_nearest_neighbour() const {
+  for (const auto& g : gates_) {
+    if (g.is_two_qubit() && std::abs(g.qubits[0] - g.qubits[1]) != 1)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace q2::circ

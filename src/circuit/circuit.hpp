@@ -1,0 +1,42 @@
+// A quantum circuit: an ordered gate list over n qubits. Parametric gates
+// reference an external parameter vector, so the ansatz circuit is built once
+// and reused across optimizer iterations (paper §III-D).
+#pragma once
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace q2::circ {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int n_qubits) : n_qubits_(n_qubits) {
+    require(n_qubits >= 1, "Circuit: need at least one qubit");
+  }
+
+  int n_qubits() const { return n_qubits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+
+  void append(Gate g);
+  void append(const Circuit& other);
+
+  std::size_t two_qubit_gate_count() const;
+  std::size_t parameter_count() const;
+
+  /// Approximate memory footprint of the stored gate list in bytes (used by
+  /// the Fig. 9 memory-accounting bench).
+  std::size_t memory_bytes() const;
+
+  /// True if every two-qubit gate acts on adjacent qubits |a-b| == 1 (the
+  /// form the MPS engine consumes).
+  bool is_nearest_neighbour() const;
+
+ private:
+  int n_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace q2::circ

@@ -1,0 +1,81 @@
+#include "circuit/fusion.hpp"
+
+#include <optional>
+
+namespace q2::circ {
+namespace {
+
+using Mat2 = std::array<cplx, 4>;
+using Mat4 = std::array<cplx, 16>;
+
+Mat2 mul2(const Mat2& a, const Mat2& b) {
+  Mat2 c{};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int k = 0; k < 2; ++k) c[i * 2 + j] += a[i * 2 + k] * b[k * 2 + j];
+  return c;
+}
+
+Mat4 mul4(const Mat4& a, const Mat4& b) {
+  Mat4 c{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      for (int k = 0; k < 4; ++k) c[i * 4 + j] += a[i * 4 + k] * b[k * 4 + j];
+  return c;
+}
+
+/// kron in the (hi, lo) bit convention used by Gate::matrix2: hi = qubits[0].
+Mat4 kron(const Mat2& hi, const Mat2& lo) {
+  Mat4 m{};
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int c = 0; c < 2; ++c)
+        for (int d = 0; d < 2; ++d)
+          m[(a * 2 + c) * 4 + (b * 2 + d)] = hi[a * 2 + b] * lo[c * 2 + d];
+  return m;
+}
+
+constexpr Mat2 kId2{1, 0, 0, 1};
+
+}  // namespace
+
+Circuit fuse_single_qubit_gates(const Circuit& c) {
+  Circuit out(c.n_qubits());
+  // pending[q]: accumulated single-qubit unitary waiting to be absorbed.
+  std::vector<std::optional<Mat2>> pending(c.n_qubits());
+
+  auto flush = [&](int q) {
+    if (pending[q]) {
+      out.append(make_u1(q, *pending[q]));
+      pending[q].reset();
+    }
+  };
+
+  for (const Gate& g : c.gates()) {
+    if (!g.is_two_qubit()) {
+      if (g.is_parametric()) {
+        // Parameter bindings can't be folded into a constant matrix.
+        flush(g.qubits[0]);
+        out.append(g);
+      } else {
+        const Mat2 m = g.matrix1();
+        Mat2& acc = pending[g.qubits[0]] ? *pending[g.qubits[0]]
+                                         : pending[g.qubits[0]].emplace(kId2);
+        acc = mul2(m, acc);  // later gate multiplies from the left
+      }
+      continue;
+    }
+    const int a = g.qubits[0], b = g.qubits[1];
+    const Mat2 pa = pending[a].value_or(kId2);
+    const Mat2 pb = pending[b].value_or(kId2);
+    pending[a].reset();
+    pending[b].reset();
+    // Pending singles execute before the two-qubit gate: U = G * (pa (x) pb).
+    const Mat4 fused = mul4(g.matrix2(), kron(pa, pb));
+    out.append(make_u2(a, b, fused));
+  }
+  for (int q = 0; q < c.n_qubits(); ++q) flush(q);
+  return out;
+}
+
+}  // namespace q2::circ

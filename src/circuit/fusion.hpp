@@ -1,0 +1,16 @@
+// Gate fusion: absorbs runs of non-parametric single-qubit gates into the
+// adjacent two-qubit gates (paper §III-A notes single-qubit gates are
+// absorbed via gate fusion, so the MPS engine only ever applies two-qubit
+// unitaries). Parametric rotations act as fusion barriers on their qubit,
+// preserving the parameter binding.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace q2::circ {
+
+/// Returns an equivalent circuit where every non-parametric single-qubit
+/// gate has been fused into a neighbouring two-qubit gate where possible.
+Circuit fuse_single_qubit_gates(const Circuit& c);
+
+}  // namespace q2::circ

@@ -1,0 +1,142 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+
+namespace q2::circ {
+namespace {
+
+constexpr cplx kI{0, 1};
+
+}  // namespace
+
+bool Gate::is_two_qubit() const {
+  switch (kind) {
+    case GateKind::kCnot:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+    case GateKind::kU2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double Gate::angle(const std::vector<double>& params) const {
+  if (param_index < 0) return theta;
+  require(std::size_t(param_index) < params.size(),
+          "Gate::angle: parameter index out of range");
+  return param_scale * params[std::size_t(param_index)];
+}
+
+std::array<cplx, 4> Gate::matrix1(const std::vector<double>& params) const {
+  const double t = angle(params);
+  const double c = std::cos(t / 2), s = std::sin(t / 2);
+  switch (kind) {
+    case GateKind::kX: return {0, 1, 1, 0};
+    case GateKind::kY: return {0, -kI, kI, 0};
+    case GateKind::kZ: return {1, 0, 0, -1};
+    case GateKind::kH: {
+      const double r = 1.0 / std::sqrt(2.0);
+      return {r, r, r, -r};
+    }
+    case GateKind::kS: return {1, 0, 0, kI};
+    case GateKind::kSdg: return {1, 0, 0, -kI};
+    case GateKind::kT: return {1, 0, 0, std::exp(kI * (kPi / 4))};
+    case GateKind::kRx: return {c, -kI * s, -kI * s, c};
+    case GateKind::kRy: return {c, -s, s, c};
+    case GateKind::kRz: return {std::exp(-kI * (t / 2)), 0, 0, std::exp(kI * (t / 2))};
+    case GateKind::kU1: {
+      require(matrix.size() == 4, "Gate::matrix1: missing U1 payload");
+      return {matrix[0], matrix[1], matrix[2], matrix[3]};
+    }
+    default:
+      throw Error("Gate::matrix1: not a single-qubit gate");
+  }
+}
+
+std::array<cplx, 16> Gate::matrix2(const std::vector<double>& params) const {
+  (void)params;
+  switch (kind) {
+    case GateKind::kCnot:
+      // qubits[0] = control is the more significant bit.
+      return {1, 0, 0, 0,
+              0, 1, 0, 0,
+              0, 0, 0, 1,
+              0, 0, 1, 0};
+    case GateKind::kCz:
+      return {1, 0, 0, 0,
+              0, 1, 0, 0,
+              0, 0, 1, 0,
+              0, 0, 0, -1};
+    case GateKind::kSwap:
+      return {1, 0, 0, 0,
+              0, 0, 1, 0,
+              0, 1, 0, 0,
+              0, 0, 0, 1};
+    case GateKind::kU2: {
+      require(matrix.size() == 16, "Gate::matrix2: missing U2 payload");
+      std::array<cplx, 16> m;
+      std::copy(matrix.begin(), matrix.end(), m.begin());
+      return m;
+    }
+    default:
+      throw Error("Gate::matrix2: not a two-qubit gate");
+  }
+}
+
+Gate make_x(int q) { return {GateKind::kX, {q, -1}}; }
+Gate make_y(int q) { return {GateKind::kY, {q, -1}}; }
+Gate make_z(int q) { return {GateKind::kZ, {q, -1}}; }
+Gate make_h(int q) { return {GateKind::kH, {q, -1}}; }
+Gate make_s(int q) { return {GateKind::kS, {q, -1}}; }
+Gate make_sdg(int q) { return {GateKind::kSdg, {q, -1}}; }
+Gate make_t(int q) { return {GateKind::kT, {q, -1}}; }
+
+Gate make_rx(int q, double theta) {
+  Gate g{GateKind::kRx, {q, -1}};
+  g.theta = theta;
+  return g;
+}
+Gate make_ry(int q, double theta) {
+  Gate g{GateKind::kRy, {q, -1}};
+  g.theta = theta;
+  return g;
+}
+Gate make_rz(int q, double theta) {
+  Gate g{GateKind::kRz, {q, -1}};
+  g.theta = theta;
+  return g;
+}
+Gate make_rz_param(int q, int param_index, double scale) {
+  Gate g{GateKind::kRz, {q, -1}};
+  g.param_index = param_index;
+  g.param_scale = scale;
+  return g;
+}
+
+Gate make_cnot(int control, int target) {
+  require(control != target, "make_cnot: control == target");
+  return {GateKind::kCnot, {control, target}};
+}
+Gate make_cz(int a, int b) {
+  require(a != b, "make_cz: duplicate qubit");
+  return {GateKind::kCz, {a, b}};
+}
+Gate make_swap(int a, int b) {
+  require(a != b, "make_swap: duplicate qubit");
+  return {GateKind::kSwap, {a, b}};
+}
+
+Gate make_u1(int q, const std::array<cplx, 4>& m) {
+  Gate g{GateKind::kU1, {q, -1}};
+  g.matrix.assign(m.begin(), m.end());
+  return g;
+}
+Gate make_u2(int a, int b, const std::array<cplx, 16>& m) {
+  require(a != b, "make_u2: duplicate qubit");
+  Gate g{GateKind::kU2, {a, b}};
+  g.matrix.assign(m.begin(), m.end());
+  return g;
+}
+
+}  // namespace q2::circ

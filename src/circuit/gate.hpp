@@ -1,0 +1,62 @@
+// Quantum gate IR. Gates carry either a fixed angle or a binding to an
+// ansatz parameter (index + scale), so one circuit object serves every VQE
+// iteration — the prerequisite for the paper's memory-efficient scheme.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace q2::circ {
+
+enum class GateKind {
+  kX, kY, kZ, kH, kS, kSdg, kT,
+  kRx, kRy, kRz,
+  kCnot, kCz, kSwap,
+  kU1,  ///< arbitrary single-qubit unitary (2x2 matrix payload)
+  kU2,  ///< arbitrary two-qubit unitary (4x4 matrix payload)
+};
+
+struct Gate {
+  GateKind kind;
+  /// qubits[0] is the target for single-qubit gates; for two-qubit gates
+  /// (control, target) for kCnot, symmetric otherwise.
+  std::array<int, 2> qubits{-1, -1};
+  double theta = 0.0;     ///< rotation angle for kRx/kRy/kRz with no binding
+  int param_index = -1;   ///< >= 0: theta = param_scale * params[param_index]
+  double param_scale = 1.0;
+  std::vector<cplx> matrix;  ///< payload for kU1 (4 entries) / kU2 (16)
+
+  bool is_two_qubit() const;
+  bool is_parametric() const { return param_index >= 0; }
+
+  /// Resolved rotation angle under a parameter vector.
+  double angle(const std::vector<double>& params) const;
+
+  /// 2x2 unitary (single-qubit gates only), row-major in basis |0>, |1>.
+  std::array<cplx, 4> matrix1(const std::vector<double>& params = {}) const;
+  /// 4x4 unitary (two-qubit gates only), row-major in basis |q0 q1> with
+  /// qubits[0] the more significant bit.
+  std::array<cplx, 16> matrix2(const std::vector<double>& params = {}) const;
+};
+
+Gate make_x(int q);
+Gate make_y(int q);
+Gate make_z(int q);
+Gate make_h(int q);
+Gate make_s(int q);
+Gate make_sdg(int q);
+Gate make_t(int q);
+Gate make_rx(int q, double theta);
+Gate make_ry(int q, double theta);
+Gate make_rz(int q, double theta);
+/// RZ bound to an ansatz parameter: theta = scale * params[index].
+Gate make_rz_param(int q, int param_index, double scale);
+Gate make_cnot(int control, int target);
+Gate make_cz(int a, int b);
+Gate make_swap(int a, int b);
+Gate make_u1(int q, const std::array<cplx, 4>& m);
+Gate make_u2(int a, int b, const std::array<cplx, 16>& m);
+
+}  // namespace q2::circ

@@ -1,0 +1,27 @@
+#include "circuit/routing.hpp"
+
+#include <cstdlib>
+
+namespace q2::circ {
+
+Circuit route_to_nearest_neighbour(const Circuit& c) {
+  Circuit out(c.n_qubits());
+  for (const Gate& g : c.gates()) {
+    if (!g.is_two_qubit() || std::abs(g.qubits[0] - g.qubits[1]) == 1) {
+      out.append(g);
+      continue;
+    }
+    const int a = g.qubits[0], b = g.qubits[1];
+    const int lo = std::min(a, b), hi = std::max(a, b);
+    // Bubble the lower qubit up to hi-1.
+    for (int q = lo; q < hi - 1; ++q) out.append(make_swap(q, q + 1));
+    Gate moved = g;
+    moved.qubits[0] = (a == lo) ? hi - 1 : hi;
+    moved.qubits[1] = (b == lo) ? hi - 1 : hi;
+    out.append(std::move(moved));
+    for (int q = hi - 1; q-- > lo;) out.append(make_swap(q, q + 1));
+  }
+  return out;
+}
+
+}  // namespace q2::circ

@@ -1,0 +1,17 @@
+// SWAP routing: rewrites a circuit so every two-qubit gate acts on adjacent
+// qubits, which is the form the MPS engine consumes. The UCC parity ladders
+// and Hadamard-test controls span arbitrary distances; each long-range gate
+// is bracketed by SWAP chains (and the chains are what the paper's MPS
+// simulator pays for long-range entangling, too).
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace q2::circ {
+
+/// Equivalent nearest-neighbour circuit. Gates already adjacent pass through
+/// untouched; a long-range gate on (a, b) becomes swaps moving min(a,b) next
+/// to max(a,b), the gate, and the reverse swaps.
+Circuit route_to_nearest_neighbour(const Circuit& c);
+
+}  // namespace q2::circ

@@ -1,0 +1,21 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace q2::log {
+namespace {
+Level g_level = Level::kSilent;
+}
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+
+void info(const std::string& msg) {
+  if (g_level >= Level::kInfo) std::fprintf(stderr, "[q2] %s\n", msg.c_str());
+}
+
+void debug(const std::string& msg) {
+  if (g_level >= Level::kDebug) std::fprintf(stderr, "[q2:dbg] %s\n", msg.c_str());
+}
+
+}  // namespace q2::log

@@ -1,0 +1,17 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay readable;
+// drivers raise the level when the user asks for progress output.
+#pragma once
+
+#include <string>
+
+namespace q2::log {
+
+enum class Level { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+void set_level(Level level);
+Level level();
+
+void info(const std::string& msg);
+void debug(const std::string& msg);
+
+}  // namespace q2::log

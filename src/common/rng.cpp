@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Header-only today; the TU anchors the module in the build so future
+// out-of-line additions (e.g. counter-based streams) have a home.

@@ -1,0 +1,31 @@
+// Core scalar types and small utilities shared by every q2chem module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace q2 {
+
+using cplx = std::complex<double>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Thrown on violated preconditions in public API entry points.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check that survives in release builds: the cost is negligible
+/// next to the numerical kernels it guards.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+/// |z|^2 without the sqrt of std::abs.
+inline double norm2(cplx z) { return z.real() * z.real() + z.imag() * z.imag(); }
+
+}  // namespace q2

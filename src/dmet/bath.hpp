@@ -1,0 +1,29 @@
+// Schmidt-decomposition bath construction (DMET Fig. 3, step 3): the
+// environment block of the idempotent mean-field 1-RDM yields at most
+// n_fragment bath orbitals; fragment + bath span the embedding space.
+#pragma once
+
+#include <vector>
+
+#include "dmet/fragment.hpp"
+#include "linalg/matrix.hpp"
+
+namespace q2::dmet {
+
+struct EmbeddingBasis {
+  /// OAO-basis coefficients of the embedding orbitals, N x (n_frag + n_bath).
+  /// The first n_fragment columns are the fragment unit vectors.
+  la::RMatrix w;
+  std::size_t n_fragment = 0;
+  std::size_t n_bath = 0;
+  /// Bath-orbital entanglement weights (singular values of the env-frag RDM
+  /// block), one per bath orbital.
+  std::vector<double> bath_occupations;
+};
+
+/// Build the embedding basis from the per-spin OAO 1-RDM. Bath orbitals with
+/// singular value below `threshold` are discarded (unentangled).
+EmbeddingBasis make_bath(const la::RMatrix& p_oao, const Fragment& fragment,
+                         double threshold = 1e-8);
+
+}  // namespace q2::dmet

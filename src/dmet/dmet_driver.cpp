@@ -1,0 +1,237 @@
+#include "dmet/dmet_driver.hpp"
+
+#include <cmath>
+
+#include "chem/fci.hpp"
+#include "chem/hamiltonian.hpp"
+#include "sim/mps.hpp"
+
+namespace q2::dmet {
+
+FragmentSolver make_fci_solver() {
+  return [](const EmbeddingProblem& prob, const chem::MoIntegrals& solver_mo) {
+    const chem::FciResult gs =
+        chem::fci_ground_state(solver_mo, prob.n_alpha, prob.n_beta);
+    require(gs.converged, "dmet/fci: fragment solve did not converge");
+    const chem::FciSpace space(solver_mo.n_orbitals(), prob.n_alpha,
+                               prob.n_beta);
+
+    const chem::MoIntegrals ex =
+        fragment_weighted_integrals(prob.energy, prob.fragment_orbitals);
+    FragmentSolution sol;
+    sol.energy = chem::fci_expectation(space, chem::to_spin_orbitals(ex), gs.ci);
+    const la::RMatrix rdm = space.one_rdm(gs.ci);
+    for (std::size_t f : prob.fragment_orbitals) sol.electrons += rdm(f, f);
+    return sol;
+  };
+}
+
+FragmentSolver make_vqe_solver(const vqe::VqeOptions& options) {
+  return [options](const EmbeddingProblem& prob,
+                   const chem::MoIntegrals& solver_mo) {
+    // The embedding basis (fragment + bath) is not energy ordered, so the
+    // UCCSD reference (occupy the first qubits) would be the wrong
+    // determinant. Canonicalize with a small in-embedding mean field and
+    // rotate every measured operator into the same basis.
+    const la::RMatrix u =
+        embedding_canonical_orbitals(solver_mo, prob.n_alpha);
+    const chem::MoIntegrals canonical = rotate_orbitals(solver_mo, u);
+
+    const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(canonical);
+    const vqe::UccsdAnsatz ansatz = vqe::build_uccsd(
+        canonical.n_orbitals(), prob.n_alpha, prob.n_beta, options.ansatz);
+    const vqe::VqeResult r = vqe::run_vqe_on(h, ansatz, options);
+
+    // Fragment energy and electron count are measured on the optimized state
+    // as plain Pauli expectations — exactly what hardware would report.
+    sim::Mps state(ansatz.circuit.n_qubits(), options.mps);
+    state.run(ansatz.circuit, r.parameters);
+    const pauli::QubitOperator hx = chem::molecular_qubit_hamiltonian(
+        rotate_orbitals(
+            fragment_weighted_integrals(prob.energy, prob.fragment_orbitals),
+            u));
+    // Fragment projector in the canonical basis: P = U^T diag(1_frag) U.
+    const std::size_t m = canonical.n_orbitals();
+    la::RMatrix proj(m, m);
+    for (std::size_t f : prob.fragment_orbitals)
+      for (std::size_t p = 0; p < m; ++p)
+        for (std::size_t q = 0; q < m; ++q)
+          proj(p, q) += u(f, p) * u(f, q);
+    const pauli::QubitOperator nx = chem::one_body_qubit_operator(proj);
+
+    FragmentSolution sol;
+    sol.energy = state.expectation(hx).real();
+    sol.electrons = state.expectation(nx).real();
+    return sol;
+  };
+}
+
+namespace {
+
+struct Evaluation {
+  double energy = 0.0;     ///< sum of fragment energies (electronic)
+  double electrons = 0.0;  ///< summed fragment electron count
+  std::vector<double> fragment_energies, fragment_electrons;
+};
+
+// Everything that's independent of mu, precomputed once.
+struct Prepared {
+  chem::IntegralTables ints;
+  LowdinBasis lb;
+  la::RMatrix p_oao;
+  std::vector<Fragment> fragments;
+  std::vector<EmbeddingProblem> problems;
+  double hf_energy = 0.0;
+};
+
+Prepared prepare(const chem::Molecule& molecule, const DmetOptions& options) {
+  Prepared prep;
+  const chem::BasisSet basis = chem::BasisSet::build(molecule, options.basis);
+  prep.ints = chem::compute_integrals(molecule, basis);
+  const chem::ScfResult scf = chem::rhf(molecule, basis, prep.ints);
+  require(scf.converged, "run_dmet: RHF did not converge");
+  prep.hf_energy = scf.energy;
+
+  prep.lb = make_lowdin(prep.ints.overlap);
+  prep.p_oao = oao_density(prep.lb, scf.density);
+
+  const auto groups = options.fragments.empty()
+                          ? uniform_atom_groups(molecule.n_atoms(), 1)
+                          : options.fragments;
+  prep.fragments = make_fragments(basis, molecule.n_atoms(), groups);
+  for (const Fragment& frag : prep.fragments) {
+    const EmbeddingBasis emb =
+        make_bath(prep.p_oao, frag, options.bath_threshold);
+    prep.problems.push_back(
+        make_embedding(prep.ints, prep.lb, prep.p_oao, emb));
+  }
+  return prep;
+}
+
+Evaluation evaluate(const Prepared& prep, double mu,
+                    const FragmentSolver& solver,
+                    const std::function<bool(std::size_t)>& mine,
+                    par::Comm* comm, bool equivalent_fragments) {
+  Evaluation ev;
+  ev.fragment_energies.assign(prep.problems.size(), 0.0);
+  ev.fragment_electrons.assign(prep.problems.size(), 0.0);
+  if (equivalent_fragments && !prep.problems.empty()) {
+    const EmbeddingProblem& prob = prep.problems[0];
+    const chem::MoIntegrals solver_mo =
+        with_chemical_potential(prob.solver, prob.fragment_orbitals, mu);
+    const FragmentSolution sol = solver(prob, solver_mo);
+    for (std::size_t f = 0; f < prep.problems.size(); ++f) {
+      ev.fragment_energies[f] = sol.energy;
+      ev.fragment_electrons[f] = sol.electrons;
+      ev.energy += sol.energy;
+      ev.electrons += sol.electrons;
+    }
+    return ev;
+  }
+  for (std::size_t f = 0; f < prep.problems.size(); ++f) {
+    if (!mine(f)) continue;
+    const EmbeddingProblem& prob = prep.problems[f];
+    const chem::MoIntegrals solver_mo =
+        with_chemical_potential(prob.solver, prob.fragment_orbitals, mu);
+    const FragmentSolution sol = solver(prob, solver_mo);
+    ev.fragment_energies[f] = sol.energy;
+    ev.fragment_electrons[f] = sol.electrons;
+  }
+  if (comm) {
+    // Level-1 reduction: one scalar per fragment (§IV-C).
+    comm->allreduce_sum(ev.fragment_energies.data(),
+                        ev.fragment_energies.size());
+    comm->allreduce_sum(ev.fragment_electrons.data(),
+                        ev.fragment_electrons.size());
+  }
+  for (std::size_t f = 0; f < prep.problems.size(); ++f) {
+    ev.energy += ev.fragment_energies[f];
+    ev.electrons += ev.fragment_electrons[f];
+  }
+  return ev;
+}
+
+DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
+                 const FragmentSolver& solver,
+                 const std::function<bool(std::size_t)>& mine,
+                 par::Comm* comm) {
+  const Prepared prep = prepare(molecule, options);
+  const double target = double(molecule.n_electrons());
+
+  DmetResult result;
+  result.hf_energy = prep.hf_energy;
+
+  double mu = 0.0;
+  Evaluation ev = evaluate(prep, mu, solver, mine, comm, options.equivalent_fragments);
+  result.mu_iterations = 1;
+
+  if (options.fit_chemical_potential &&
+      std::abs(ev.electrons - target) > options.electron_tolerance &&
+      prep.problems.size() > 1) {
+    // N(mu) is monotonically increasing; bracket the root, then bisect.
+    double lo = -options.mu_bracket, hi = options.mu_bracket;
+    Evaluation ev_lo = evaluate(prep, lo, solver, mine, comm, options.equivalent_fragments);
+    Evaluation ev_hi = evaluate(prep, hi, solver, mine, comm, options.equivalent_fragments);
+    result.mu_iterations += 2;
+    int expansions = 0;
+    while (ev_lo.electrons > target && expansions < 6) {
+      lo *= 2.0;
+      ev_lo = evaluate(prep, lo, solver, mine, comm, options.equivalent_fragments);
+      ++result.mu_iterations;
+      ++expansions;
+    }
+    while (ev_hi.electrons < target && expansions < 12) {
+      hi *= 2.0;
+      ev_hi = evaluate(prep, hi, solver, mine, comm, options.equivalent_fragments);
+      ++result.mu_iterations;
+      ++expansions;
+    }
+    for (int it = 0; it < options.max_mu_iterations; ++it) {
+      mu = 0.5 * (lo + hi);
+      ev = evaluate(prep, mu, solver, mine, comm, options.equivalent_fragments);
+      ++result.mu_iterations;
+      if (std::abs(ev.electrons - target) <= options.electron_tolerance) break;
+      if (ev.electrons < target)
+        lo = mu;
+      else
+        hi = mu;
+    }
+  }
+
+  result.converged =
+      std::abs(ev.electrons - target) <= options.electron_tolerance ||
+      !options.fit_chemical_potential || prep.problems.size() == 1;
+  result.mu = mu;
+  result.total_electrons = ev.electrons;
+  result.fragment_energies = ev.fragment_energies;
+  result.fragment_electrons = ev.fragment_electrons;
+  result.energy = ev.energy + molecule.nuclear_repulsion();
+  return result;
+}
+
+}  // namespace
+
+DmetResult run_dmet(const chem::Molecule& molecule, const DmetOptions& options,
+                    const FragmentSolver& solver) {
+  return drive(molecule, options, solver, [](std::size_t) { return true; },
+               nullptr);
+}
+
+DmetResult run_dmet_distributed(const chem::Molecule& molecule,
+                                const DmetOptions& options,
+                                const FragmentSolver& solver, par::Comm& comm,
+                                int groups) {
+  require(groups >= 1 && groups <= comm.size(),
+          "run_dmet_distributed: bad group count");
+  // Split ranks into `groups` sub-communicators; group g owns fragments
+  // f with f % groups == g, and only the group's rank 0 contributes values
+  // (the other ranks of the group mirror the computation deterministically).
+  const int color = comm.rank() % groups;
+  par::Comm sub = comm.split(color, comm.rank());
+  auto mine = [&](std::size_t f) {
+    return int(f % std::size_t(groups)) == color && sub.rank() == 0;
+  };
+  return drive(molecule, options, solver, mine, &comm);
+}
+
+}  // namespace q2::dmet

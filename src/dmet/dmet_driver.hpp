@@ -1,0 +1,69 @@
+// The DMET driver (Fig. 3): RHF low-level calculation, fragmentation, bath
+// construction, high-level fragment solves (FCI or MPS-VQE), and the global
+// chemical-potential loop matching the summed fragment electron count to the
+// molecule. run_dmet_distributed adds the first parallelization level:
+// fragments are dealt to sub-communicators (embarrassingly parallel, one
+// scalar reduce at the end — §IV-C).
+#pragma once
+
+#include <functional>
+
+#include "chem/molecule.hpp"
+#include "dmet/embedding.hpp"
+#include "parallel/comm.hpp"
+#include "vqe/vqe_driver.hpp"
+
+namespace q2::dmet {
+
+struct FragmentSolution {
+  double energy = 0.0;     ///< fragment energy E_x
+  double electrons = 0.0;  ///< fragment-orbital electron count N_x
+};
+
+/// Solves one embedding problem (already mu-shifted) and evaluates the
+/// fragment energy/electron count.
+using FragmentSolver = std::function<FragmentSolution(
+    const EmbeddingProblem& problem, const chem::MoIntegrals& solver_mo)>;
+
+/// Exact diagonalization fragment solver (the validation reference).
+FragmentSolver make_fci_solver();
+/// MPS-VQE fragment solver — the paper's high-level method.
+FragmentSolver make_vqe_solver(const vqe::VqeOptions& options);
+
+struct DmetOptions {
+  std::string basis = "sto-3g";
+  /// Atom groups per fragment; empty = one fragment per atom.
+  std::vector<std::vector<int>> fragments;
+  double bath_threshold = 1e-8;
+  bool fit_chemical_potential = true;
+  /// All fragments are symmetry-equivalent (rings, chains of identical
+  /// units): solve fragment 0 once and replicate its energy/electron count.
+  bool equivalent_fragments = false;
+  double electron_tolerance = 1e-5;
+  int max_mu_iterations = 30;
+  double mu_bracket = 0.5;  ///< initial bisection half-width
+};
+
+struct DmetResult {
+  bool converged = false;
+  double energy = 0.0;     ///< total DMET energy (incl. nuclear repulsion)
+  double hf_energy = 0.0;  ///< low-level reference
+  double mu = 0.0;
+  int mu_iterations = 0;
+  double total_electrons = 0.0;  ///< summed fragment electron count at mu
+  std::vector<double> fragment_energies;
+  std::vector<double> fragment_electrons;
+};
+
+DmetResult run_dmet(const chem::Molecule& molecule, const DmetOptions& options,
+                    const FragmentSolver& solver);
+
+/// Level-1 parallel DMET: `comm` is split into one sub-communicator per
+/// fragment batch; each group solves its fragments, and fragment energies
+/// (one scalar each) are reduced at the end.
+DmetResult run_dmet_distributed(const chem::Molecule& molecule,
+                                const DmetOptions& options,
+                                const FragmentSolver& solver, par::Comm& comm,
+                                int groups);
+
+}  // namespace q2::dmet

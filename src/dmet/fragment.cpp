@@ -1,0 +1,45 @@
+#include "dmet/fragment.hpp"
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace q2::dmet {
+
+std::vector<Fragment> make_fragments(
+    const chem::BasisSet& basis, std::size_t n_atoms,
+    const std::vector<std::vector<int>>& groups) {
+  std::vector<bool> seen(n_atoms, false);
+  std::vector<Fragment> fragments;
+  for (const auto& group : groups) {
+    Fragment f;
+    f.atoms = group;
+    for (int atom : group) {
+      require(atom >= 0 && std::size_t(atom) < n_atoms,
+              "make_fragments: atom index out of range");
+      require(!seen[std::size_t(atom)], "make_fragments: atom in two fragments");
+      seen[std::size_t(atom)] = true;
+      for (std::size_t idx : basis.functions_on_atom(atom))
+        f.orbitals.push_back(idx);
+    }
+    fragments.push_back(std::move(f));
+  }
+  for (bool s : seen) require(s, "make_fragments: atom not covered");
+  return fragments;
+}
+
+std::vector<std::vector<int>> uniform_atom_groups(
+    std::size_t n_atoms, std::size_t atoms_per_fragment) {
+  require(atoms_per_fragment >= 1, "uniform_atom_groups: empty fragments");
+  std::vector<std::vector<int>> groups;
+  for (std::size_t start = 0; start < n_atoms; start += atoms_per_fragment) {
+    std::vector<int> g;
+    for (std::size_t a = start;
+         a < std::min(n_atoms, start + atoms_per_fragment); ++a)
+      g.push_back(int(a));
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace q2::dmet

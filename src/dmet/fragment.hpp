@@ -1,0 +1,26 @@
+// Fragment definitions: groups of atoms, resolved to the OAO indices their
+// basis functions occupy (DMET Fig. 3, step 2).
+#pragma once
+
+#include <vector>
+
+#include "chem/basis.hpp"
+
+namespace q2::dmet {
+
+struct Fragment {
+  std::vector<int> atoms;
+  std::vector<std::size_t> orbitals;  ///< OAO indices of the fragment
+};
+
+/// Resolve atom groups to fragments. Every atom must appear exactly once.
+std::vector<Fragment> make_fragments(const chem::BasisSet& basis,
+                                     std::size_t n_atoms,
+                                     const std::vector<std::vector<int>>& groups);
+
+/// Convenience: consecutive groups of `atoms_per_fragment` atoms (the
+/// paper's 2-atom hydrogen fragments).
+std::vector<std::vector<int>> uniform_atom_groups(std::size_t n_atoms,
+                                                  std::size_t atoms_per_fragment);
+
+}  // namespace q2::dmet

@@ -1,0 +1,35 @@
+#include "dmet/lowdin.hpp"
+
+#include <cmath>
+
+#include "linalg/eigh.hpp"
+#include "linalg/gemm.hpp"
+
+namespace q2::dmet {
+
+LowdinBasis make_lowdin(const la::RMatrix& overlap) {
+  const la::EighResultReal eg = la::eigh(overlap);
+  const std::size_t n = overlap.rows();
+  LowdinBasis lb;
+  lb.s_half = la::RMatrix(n, n);
+  lb.s_inv_half = la::RMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    require(eg.values[k] > 1e-10, "make_lowdin: singular overlap");
+    const double sq = std::sqrt(eg.values[k]);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        lb.s_half(r, c) += eg.vectors(r, k) * sq * eg.vectors(c, k);
+        lb.s_inv_half(r, c) += eg.vectors(r, k) / sq * eg.vectors(c, k);
+      }
+  }
+  return lb;
+}
+
+la::RMatrix oao_density(const LowdinBasis& lb, const la::RMatrix& d_ao) {
+  la::RMatrix half = la::matmul(lb.s_half, d_ao);
+  la::RMatrix p = la::matmul(half, lb.s_half);
+  p *= 0.5;  // per-spin
+  return p;
+}
+
+}  // namespace q2::dmet

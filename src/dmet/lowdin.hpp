@@ -1,0 +1,22 @@
+// Loewdin orthogonalization utilities for DMET: the fragment/environment
+// split is defined over symmetrically orthogonalized AOs, which keep their
+// atomic labels (unlike canonical MOs).
+#pragma once
+
+#include "chem/integrals.hpp"
+#include "chem/scf.hpp"
+
+namespace q2::dmet {
+
+struct LowdinBasis {
+  la::RMatrix s_half;      ///< S^{1/2}
+  la::RMatrix s_inv_half;  ///< S^{-1/2} (AO coefficients of the OAOs)
+};
+
+LowdinBasis make_lowdin(const la::RMatrix& overlap);
+
+/// Per-spin mean-field 1-RDM in the OAO basis: P = S^{1/2} (D/2) S^{1/2};
+/// idempotent with trace = number of occupied orbitals.
+la::RMatrix oao_density(const LowdinBasis& lb, const la::RMatrix& d_ao);
+
+}  // namespace q2::dmet

@@ -1,0 +1,165 @@
+#include "linalg/davidson.hpp"
+
+#include <cmath>
+
+#include "linalg/eigh.hpp"
+
+namespace q2::la {
+namespace {
+
+template <typename T>
+double dot_real(const std::vector<T>& a, const std::vector<T>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if constexpr (std::is_same_v<T, cplx>)
+      s += (std::conj(a[i]) * b[i]).real();
+    else
+      s += a[i] * b[i];
+  }
+  return s;
+}
+
+template <typename T>
+T dot(const std::vector<T>& a, const std::vector<T>& b) {
+  T s{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if constexpr (std::is_same_v<T, cplx>)
+      s += std::conj(a[i]) * b[i];
+    else
+      s += a[i] * b[i];
+  }
+  return s;
+}
+
+template <typename T>
+double nrm2(const std::vector<T>& a) {
+  return std::sqrt(dot_real(a, a));
+}
+
+// Orthogonalize v against basis (two MGS passes) and normalize. Returns the
+// post-orthogonalization norm; a tiny value means v was linearly dependent.
+template <typename T>
+double orthonormalize(std::vector<T>& v, const std::vector<std::vector<T>>& basis) {
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& b : basis) {
+      const T proj = dot(b, v);
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] -= proj * b[i];
+    }
+  }
+  const double n = nrm2(v);
+  if (n > 1e-300)
+    for (auto& x : v) x /= n;
+  return n;
+}
+
+template <typename T, typename Result>
+Result davidson_impl(
+    const std::function<std::vector<T>(const std::vector<T>&)>& apply,
+    const std::vector<double>& diagonal, const std::vector<T>& guess,
+    const DavidsonOptions& opts) {
+  require(!guess.empty(), "davidson: empty guess");
+  require(diagonal.size() == guess.size(), "davidson: diagonal size mismatch");
+
+  Result result;
+  std::vector<std::vector<T>> vs, ws;  // subspace and its images under H
+
+  std::vector<T> v = guess;
+  const double gn = nrm2(v);
+  require(gn > 0, "davidson: zero guess vector");
+  for (auto& x : v) x /= gn;
+  vs.push_back(v);
+  ws.push_back(apply(v));
+
+  double theta = 0;
+  std::vector<T> ritz, residual;
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const std::size_t k = vs.size();
+    // Rayleigh-Ritz on the subspace.
+    CMatrix g(k, k);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = 0; j < k; ++j) {
+        if constexpr (std::is_same_v<T, cplx>)
+          g(i, j) = dot(vs[i], ws[j]);
+        else
+          g(i, j) = cplx(dot(vs[i], ws[j]), 0.0);
+      }
+    EighResult eg = eigh(g);
+    theta = eg.values[0];
+
+    const std::size_t n = guess.size();
+    ritz.assign(n, T{});
+    residual.assign(n, T{});
+    for (std::size_t j = 0; j < k; ++j) {
+      const cplx cj = eg.vectors(j, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if constexpr (std::is_same_v<T, cplx>) {
+          ritz[i] += cj * vs[j][i];
+          residual[i] += cj * ws[j][i];
+        } else {
+          ritz[i] += cj.real() * vs[j][i];
+          residual[i] += cj.real() * ws[j][i];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) residual[i] -= T(theta) * ritz[i];
+
+    result.iterations = it + 1;
+    if (nrm2(residual) < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Davidson preconditioner: (diag(H) - theta)^-1 r, clamped near zero.
+    std::vector<T> t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = diagonal[i] - theta;
+      if (std::abs(d) < 1e-8) d = (d >= 0 ? 1e-8 : -1e-8);
+      t[i] = residual[i] / d;
+    }
+
+    if (vs.size() >= opts.max_subspace) {
+      // Restart with the current Ritz vector.
+      vs.clear();
+      ws.clear();
+      std::vector<T> r0 = ritz;
+      const double rn = nrm2(r0);
+      for (auto& x : r0) x /= rn;
+      vs.push_back(r0);
+      ws.push_back(apply(r0));
+    }
+
+    if (orthonormalize(t, vs) < 1e-10) {
+      // Expansion vector collapsed onto the subspace: converged numerically.
+      result.converged = true;
+      break;
+    }
+    vs.push_back(t);
+    ws.push_back(apply(t));
+  }
+
+  result.eigenvalue = theta;
+  result.eigenvector = std::move(ritz);
+  const double rn = nrm2(result.eigenvector);
+  if (rn > 0)
+    for (auto& x : result.eigenvector) x /= rn;
+  return result;
+}
+
+}  // namespace
+
+DavidsonResult davidson_lowest(
+    const std::function<std::vector<double>(const std::vector<double>&)>& apply,
+    const std::vector<double>& diagonal, const std::vector<double>& guess,
+    const DavidsonOptions& opts) {
+  return davidson_impl<double, DavidsonResult>(apply, diagonal, guess, opts);
+}
+
+DavidsonResultC davidson_lowest_hermitian(
+    const std::function<std::vector<cplx>(const std::vector<cplx>&)>& apply,
+    const std::vector<double>& diagonal, const std::vector<cplx>& guess,
+    const DavidsonOptions& opts) {
+  return davidson_impl<cplx, DavidsonResultC>(apply, diagonal, guess, opts);
+}
+
+}  // namespace q2::la

@@ -1,0 +1,48 @@
+// Davidson eigensolver for large sparse symmetric/Hermitian operators that
+// are only available as matrix-vector products. This is the FCI engine and
+// the qubit-Hamiltonian cross-validation engine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace q2::la {
+
+struct DavidsonOptions {
+  std::size_t max_subspace = 30;   ///< restart threshold
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-9;         ///< residual 2-norm convergence target
+};
+
+struct DavidsonResult {
+  double eigenvalue = 0.0;
+  std::vector<double> eigenvector;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Lowest eigenpair of a real symmetric operator. `apply` computes y = H x;
+/// `diagonal` is H's diagonal, used as the Davidson preconditioner; `guess`
+/// seeds the subspace (normalized internally).
+DavidsonResult davidson_lowest(
+    const std::function<std::vector<double>(const std::vector<double>&)>& apply,
+    const std::vector<double>& diagonal, const std::vector<double>& guess,
+    const DavidsonOptions& opts = {});
+
+struct DavidsonResultC {
+  double eigenvalue = 0.0;
+  std::vector<cplx> eigenvector;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Lowest eigenpair of a Hermitian operator (complex vectors). Used to
+/// diagonalize Jordan-Wigner qubit Hamiltonians on the state-vector simulator.
+DavidsonResultC davidson_lowest_hermitian(
+    const std::function<std::vector<cplx>(const std::vector<cplx>&)>& apply,
+    const std::vector<double>& diagonal, const std::vector<cplx>& guess,
+    const DavidsonOptions& opts = {});
+
+}  // namespace q2::la

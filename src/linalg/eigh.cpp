@@ -1,0 +1,98 @@
+#include "linalg/eigh.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace q2::la {
+namespace {
+
+inline double conj_if(double x) { return x; }
+inline cplx conj_if(cplx x) { return std::conj(x); }
+
+// Two-sided Jacobi for a Hermitian matrix: rotate rows and columns with the
+// unitary J = D R that diagonalizes each 2x2 pivot block (D phases the pivot
+// real, R is the real Jacobi rotation), accumulating eigenvectors.
+// esn = conj(phase) * sin(theta), ecs = conj(phase) * cos(theta).
+template <typename T>
+void rotate(Matrix<T>& a, Matrix<T>& vecs, std::size_t p, std::size_t q,
+            double cs, double sn, T esn, T ecs) {
+  const std::size_t n = a.rows();
+  // Column update: A <- A J.
+  for (std::size_t i = 0; i < n; ++i) {
+    const T x = a(i, p), y = a(i, q);
+    a(i, p) = cs * x + esn * y;
+    a(i, q) = -sn * x + ecs * y;
+  }
+  // Row update: A <- J^H A.
+  for (std::size_t j = 0; j < n; ++j) {
+    const T x = a(p, j), y = a(q, j);
+    a(p, j) = cs * x + conj_if(esn) * y;
+    a(q, j) = -sn * x + conj_if(ecs) * y;
+  }
+  for (std::size_t i = 0; i < vecs.rows(); ++i) {
+    const T x = vecs(i, p), y = vecs(i, q);
+    vecs(i, p) = cs * x + esn * y;
+    vecs(i, q) = -sn * x + ecs * y;
+  }
+}
+
+template <typename T>
+void jacobi_eigh(Matrix<T>& a, Matrix<T>& vecs) {
+  const std::size_t n = a.rows();
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0;
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(a(p, q));
+    if (std::sqrt(off) < 1e-14 * (1.0 + a.max_abs())) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq_abs = std::abs(a(p, q));
+        if (apq_abs < 1e-300) continue;
+        const double app = std::real(a(p, p)), aqq = std::real(a(q, q));
+        T phase_conj;
+        if constexpr (std::is_same_v<T, cplx>)
+          phase_conj = std::conj(a(p, q)) / apq_abs;
+        else
+          phase_conj = a(p, q) > 0 ? 1.0 : -1.0;
+        const double theta = 0.5 * std::atan2(2.0 * apq_abs, app - aqq);
+        const double cs = std::cos(theta), sn = std::sin(theta);
+        rotate(a, vecs, p, q, cs, sn, T(phase_conj * sn), T(phase_conj * cs));
+      }
+    }
+  }
+}
+
+template <typename T, typename Result>
+Result eigh_impl(const Matrix<T>& a_in) {
+  require(a_in.rows() == a_in.cols(), "eigh: matrix must be square");
+  Matrix<T> a = a_in;
+  Matrix<T> vecs = Matrix<T>::identity(a.rows());
+  jacobi_eigh(a, vecs);
+
+  const std::size_t n = a.rows();
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = std::real(a(i, i));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return vals[x] < vals[y]; });
+
+  Result r;
+  r.values.resize(n);
+  r.vectors = Matrix<T>(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    r.values[j] = vals[order[j]];
+    for (std::size_t i = 0; i < n; ++i) r.vectors(i, j) = vecs(i, order[j]);
+  }
+  return r;
+}
+
+}  // namespace
+
+EighResult eigh(const CMatrix& a) { return eigh_impl<cplx, EighResult>(a); }
+EighResultReal eigh(const RMatrix& a) {
+  return eigh_impl<double, EighResultReal>(a);
+}
+
+}  // namespace q2::la

@@ -1,0 +1,33 @@
+// Blocked GEMM kernels — the swBLAS stand-in. Everything above (tensor
+// contraction, SVD, SCF) funnels matrix products through here, so this is the
+// single tuning point, exactly as swBLAS was for the paper.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace q2::la {
+
+enum class Op { kNone, kTrans, kAdjoint };
+
+/// C = alpha * op(A) * op(B) + beta * C (shapes validated; C resized only if
+/// beta == 0 and C is empty).
+void gemm(cplx alpha, const CMatrix& a, Op op_a, const CMatrix& b, Op op_b,
+          cplx beta, CMatrix& c);
+void gemm(double alpha, const RMatrix& a, Op op_a, const RMatrix& b, Op op_b,
+          double beta, RMatrix& c);
+
+/// Convenience: plain product op(A)*op(B).
+CMatrix matmul(const CMatrix& a, const CMatrix& b, Op op_a = Op::kNone,
+               Op op_b = Op::kNone);
+RMatrix matmul(const RMatrix& a, const RMatrix& b, Op op_a = Op::kNone,
+               Op op_b = Op::kNone);
+
+/// y = A x.
+std::vector<cplx> matvec(const CMatrix& a, const std::vector<cplx>& x);
+std::vector<double> matvec(const RMatrix& a, const std::vector<double>& x);
+
+/// Reference triple-loop kernel kept for the swBLAS-vs-LAPACK style
+/// comparison in bench_profile (paper §IV-B).
+void gemm_naive(const CMatrix& a, const CMatrix& b, CMatrix& c);
+
+}  // namespace q2::la

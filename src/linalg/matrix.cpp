@@ -1,0 +1,19 @@
+#include "linalg/matrix.hpp"
+
+namespace q2::la {
+
+CMatrix to_complex(const RMatrix& a) {
+  CMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j);
+  return c;
+}
+
+RMatrix real_part(const CMatrix& a) {
+  RMatrix r(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).real();
+  return r;
+}
+
+}  // namespace q2::la

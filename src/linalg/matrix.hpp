@@ -1,0 +1,124 @@
+// Dense row-major matrix. This is the workhorse container underneath the MPS
+// tensors, the SCF matrices and the embedding Hamiltonians; it deliberately
+// stays a plain value type (deep copy, move-enabled) per the Core Guidelines.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace q2::la {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major nested initializer, e.g. Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      require(row.size() == cols_, "Matrix: ragged initializer");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix& operator+=(const Matrix& o) {
+    require(same_shape(o), "Matrix+=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    require(same_shape(o), "Matrix-=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  /// Conjugate transpose; for real T this equals transposed().
+  Matrix adjoint() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if constexpr (std::is_same_v<T, cplx>)
+          t(c, r) = std::conj((*this)(r, c));
+        else
+          t(c, r) = (*this)(r, c);
+      }
+    return t;
+  }
+
+  double frobenius_norm() const {
+    double s = 0;
+    for (const auto& x : data_) s += std::norm(x);
+    return std::sqrt(s);
+  }
+
+  double max_abs() const {
+    double m = 0;
+    for (const auto& x : data_) m = std::max(m, std::abs(x));
+    return m;
+  }
+
+  const std::vector<T>& storage() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+using CMatrix = Matrix<cplx>;
+using RMatrix = Matrix<double>;
+
+/// Promote a real matrix to complex (needed at the chemistry/qubit boundary).
+CMatrix to_complex(const RMatrix& a);
+/// Real part of a complex matrix (valid when the imaginary part is noise).
+RMatrix real_part(const CMatrix& a);
+
+}  // namespace q2::la

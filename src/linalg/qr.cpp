@@ -1,0 +1,75 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace q2::la {
+
+QrResult qr(const CMatrix& a_in) {
+  // Modified Gram-Schmidt with one reorthogonalization pass: simpler than
+  // Householder for thin factors and numerically adequate ("twice is enough").
+  const std::size_t m = a_in.rows(), n = a_in.cols();
+  const std::size_t k = std::min(m, n);
+  CMatrix q(m, k), r(k, n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<cplx> v(m);
+    for (std::size_t i = 0; i < m; ++i) v[i] = a_in(i, j);
+    const std::size_t lim = std::min(j, k);
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t c = 0; c < lim; ++c) {
+        cplx proj{};
+        for (std::size_t i = 0; i < m; ++i) proj += std::conj(q(i, c)) * v[i];
+        r(c, j) += proj;
+        for (std::size_t i = 0; i < m; ++i) v[i] -= proj * q(i, c);
+      }
+    }
+    if (j < k) {
+      double nrm = 0;
+      for (const auto& z : v) nrm += norm2(z);
+      nrm = std::sqrt(nrm);
+      r(j, j) = nrm;
+      if (nrm > 1e-300) {
+        for (std::size_t i = 0; i < m; ++i) q(i, j) = v[i] / nrm;
+      } else {
+        // Rank-deficient column: inject a canonical vector orthogonal to the
+        // span so Q keeps full column rank.
+        for (std::size_t probe = 0; probe < m; ++probe) {
+          std::vector<cplx> cand(m, cplx{});
+          cand[probe] = 1.0;
+          for (std::size_t c = 0; c < j; ++c) {
+            cplx proj{};
+            for (std::size_t i = 0; i < m; ++i)
+              proj += std::conj(q(i, c)) * cand[i];
+            for (std::size_t i = 0; i < m; ++i) cand[i] -= proj * q(i, c);
+          }
+          double cn = 0;
+          for (const auto& z : cand) cn += norm2(z);
+          cn = std::sqrt(cn);
+          if (cn > 1e-8) {
+            for (std::size_t i = 0; i < m; ++i) q(i, j) = cand[i] / cn;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return {std::move(q), std::move(r)};
+}
+
+CMatrix random_unitary(std::size_t n, Rng& rng) {
+  CMatrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.complex_normal();
+  QrResult f = qr(g);
+  // Fix the phase gauge: multiply each column by the phase of R's diagonal so
+  // the distribution is exactly Haar.
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx d = f.r(j, j);
+    const double ad = std::abs(d);
+    const cplx phase = ad > 0 ? d / ad : cplx{1};
+    for (std::size_t i = 0; i < n; ++i) f.q(i, j) *= phase;
+  }
+  return f.q;
+}
+
+}  // namespace q2::la

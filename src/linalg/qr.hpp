@@ -1,0 +1,22 @@
+// Householder QR. Used for orthonormalizing Krylov/Davidson subspaces and for
+// building random unitaries in tests and workload generators.
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace q2::la {
+
+struct QrResult {
+  CMatrix q;  ///< m x k with orthonormal columns (k = min(m, n))
+  CMatrix r;  ///< k x n upper triangular
+};
+
+/// Thin QR decomposition of a complex matrix.
+QrResult qr(const CMatrix& a);
+
+/// Haar-distributed random unitary of size n (QR of a Ginibre matrix with the
+/// phase convention fixed so R has a positive real diagonal).
+CMatrix random_unitary(std::size_t n, Rng& rng);
+
+}  // namespace q2::la

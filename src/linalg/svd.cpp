@@ -1,0 +1,437 @@
+#include "linalg/svd.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace q2::la {
+namespace {
+
+// One sweep of cyclic one-sided Jacobi over column pairs of `a`, accumulating
+// the right rotations into `v`. Returns the largest relative off-diagonal
+// Gram element seen, which drives convergence.
+double jacobi_sweep(CMatrix& a, CMatrix& v) {
+  const std::size_t m = a.rows(), n = a.cols();
+  double off_max = 0.0;
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      double app = 0, aqq = 0;
+      cplx apq{};
+      for (std::size_t i = 0; i < m; ++i) {
+        const cplx x = a(i, p), y = a(i, q);
+        app += norm2(x);
+        aqq += norm2(y);
+        apq += std::conj(x) * y;
+      }
+      const double denom = std::sqrt(app * aqq);
+      if (denom <= 0.0) continue;
+      const double rel = std::abs(apq) / denom;
+      off_max = std::max(off_max, rel);
+      if (rel < 1e-15) continue;
+
+      // Diagonalize the Hermitian 2x2 Gram block [[app, apq], [conj, aqq]]:
+      // phase it real with D = diag(1, e^{-i phi}), then a plain real
+      // rotation R; the combined unitary is J = D R.
+      const double absc = std::abs(apq);
+      const cplx phase_conj = std::conj(apq) / absc;  // e^{-i phi}
+      const double theta = 0.5 * std::atan2(2.0 * absc, app - aqq);
+      const double cs = std::cos(theta), sn = std::sin(theta);
+      const cplx esn = phase_conj * sn;
+      const cplx ecs = phase_conj * cs;
+      for (std::size_t i = 0; i < m; ++i) {
+        const cplx x = a(i, p), y = a(i, q);
+        a(i, p) = cs * x + esn * y;
+        a(i, q) = -sn * x + ecs * y;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplx x = v(i, p), y = v(i, q);
+        v(i, p) = cs * x + esn * y;
+        v(i, q) = -sn * x + ecs * y;
+      }
+    }
+  }
+  return off_max;
+}
+
+// Fill zero-norm columns of `u` with unit vectors orthogonalized against all
+// other columns, so U keeps orthonormal columns even for rank-deficient input.
+void complete_null_columns(CMatrix& u, const std::vector<bool>& is_null) {
+  const std::size_t m = u.rows(), k = u.cols();
+  std::size_t probe = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!is_null[j]) continue;
+    for (; probe < m; ++probe) {
+      std::vector<cplx> cand(m, cplx{});
+      cand[probe] = 1.0;
+      // Two rounds of modified Gram-Schmidt for robustness.
+      for (int round = 0; round < 2; ++round) {
+        for (std::size_t c = 0; c < k; ++c) {
+          if (c == j) continue;
+          cplx proj{};
+          for (std::size_t i = 0; i < m; ++i)
+            proj += std::conj(u(i, c)) * cand[i];
+          for (std::size_t i = 0; i < m; ++i) cand[i] -= proj * u(i, c);
+        }
+      }
+      double nrm = 0;
+      for (const auto& z : cand) nrm += norm2(z);
+      nrm = std::sqrt(nrm);
+      if (nrm > 1e-8) {
+        for (std::size_t i = 0; i < m; ++i) u(i, j) = cand[i] / nrm;
+        ++probe;
+        break;
+      }
+    }
+  }
+}
+
+SvdResult svd_tall(const CMatrix& a_in) {
+  CMatrix a = a_in;
+  const std::size_t m = a.rows(), n = a.cols();
+  CMatrix v = CMatrix::identity(n);
+  constexpr int kMaxSweeps = 60;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (jacobi_sweep(a, v) < 1e-14) break;
+  }
+
+  // Column norms are the singular values; sort them descending.
+  std::vector<double> s(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double nrm = 0;
+    for (std::size_t i = 0; i < m; ++i) nrm += norm2(a(i, j));
+    s[j] = std::sqrt(nrm);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+
+  const double smax = s.empty() ? 0.0 : s[order[0]];
+  const double null_tol = std::max(smax, 1.0) * 1e-14 * double(std::max(m, n));
+
+  SvdResult r;
+  r.u = CMatrix(m, n);
+  r.s.resize(n);
+  r.vh = CMatrix(n, n);
+  std::vector<bool> is_null(n, false);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    r.s[jj] = s[j];
+    if (s[j] > null_tol) {
+      for (std::size_t i = 0; i < m; ++i) r.u(i, jj) = a(i, j) / s[j];
+    } else {
+      r.s[jj] = 0.0;
+      is_null[jj] = true;
+    }
+    for (std::size_t i = 0; i < n; ++i) r.vh(jj, i) = std::conj(v(i, j));
+  }
+  complete_null_columns(r.u, is_null);
+  return r;
+}
+
+}  // namespace
+
+SvdResult svd_jacobi(const CMatrix& a) {
+  require(!a.empty(), "svd_jacobi: empty matrix");
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  // Wide matrix: decompose the adjoint and swap factors,
+  // A = (U' S V'^H)^H = V' S U'^H.
+  SvdResult t = svd_tall(a.adjoint());
+  SvdResult r;
+  r.s = std::move(t.s);
+  r.u = t.vh.adjoint();
+  r.vh = t.u.adjoint();
+  return r;
+}
+
+namespace {
+
+// LAPACK zlarfg: given alpha and tail x, produce (tau, beta) and overwrite
+// x with the reflector tail v (v0 = 1 implicit) such that
+// (I - conj(tau) v v^H) [alpha; x] = [beta; 0] with beta real.
+struct Reflector {
+  cplx tau{0, 0};
+  double beta = 0;
+};
+
+Reflector make_reflector(cplx alpha, cplx* x, std::size_t tail) {
+  double xnorm2 = 0;
+  for (std::size_t i = 0; i < tail; ++i) xnorm2 += norm2(x[i]);
+  Reflector r;
+  if (xnorm2 == 0.0 && alpha.imag() == 0.0) {
+    r.beta = alpha.real();
+    return r;  // tau = 0: H = I
+  }
+  const double anorm = std::sqrt(norm2(alpha) + xnorm2);
+  r.beta = alpha.real() >= 0 ? -anorm : anorm;
+  r.tau = cplx((r.beta - alpha.real()) / r.beta, -alpha.imag() / r.beta);
+  const cplx scale = 1.0 / (alpha - r.beta);
+  for (std::size_t i = 0; i < tail; ++i) x[i] *= scale;
+  return r;
+}
+
+// M(rows r0.., cols c0..) <- (I - sigma v v^H) M, with v0 = 1 at row r0 and
+// v[1..] supplied.
+void reflect_left(CMatrix& m, std::size_t r0, std::size_t c0, const cplx* v,
+                  std::size_t tail, cplx sigma) {
+  if (sigma == cplx{}) return;
+  const std::size_t rows = m.rows(), cols = m.cols();
+  for (std::size_t j = c0; j < cols; ++j) {
+    cplx w = m(r0, j);
+    for (std::size_t i = 0; i < tail; ++i)
+      w += std::conj(v[i]) * m(r0 + 1 + i, j);
+    const cplx sw = sigma * w;
+    m(r0, j) -= sw;
+    for (std::size_t i = 0; i < tail; ++i) m(r0 + 1 + i, j) -= sw * v[i];
+  }
+  (void)rows;
+}
+
+// M(rows r0.., cols c0..) <- M (I - sigma v v^H), with v0 = 1 at column c0.
+void reflect_right(CMatrix& m, std::size_t r0, std::size_t c0, const cplx* v,
+                   std::size_t tail, cplx sigma) {
+  if (sigma == cplx{}) return;
+  const std::size_t rows = m.rows();
+  for (std::size_t i = r0; i < rows; ++i) {
+    cplx s = m(i, c0);
+    for (std::size_t j = 0; j < tail; ++j) s += m(i, c0 + 1 + j) * v[j];
+    const cplx ss = sigma * s;
+    m(i, c0) -= ss;
+    for (std::size_t j = 0; j < tail; ++j)
+      m(i, c0 + 1 + j) -= ss * std::conj(v[j]);
+  }
+}
+
+inline double pythag(double a, double b) { return std::hypot(a, b); }
+
+// Implicit-shift QR diagonalization of a real bidiagonal matrix
+// (diag d[0..n), superdiag e[i] = B(i-1, i), e[0] = 0), accumulating the
+// rotations into U and V supplied in TRANSPOSED layout (row j = j-th
+// singular vector) so each rotation streams two contiguous rows.
+// Classic Golub-Kahan; returns false if an eigenvalue fails to converge.
+bool bidiagonal_qr(std::vector<double>& d, std::vector<double>& e, CMatrix& ut,
+                   CMatrix& vt) {
+  const int n = int(d.size());
+  double anorm = 0;
+  for (int i = 0; i < n; ++i)
+    anorm = std::max(anorm, std::abs(d[i]) + std::abs(e[i]));
+  const double eps = 1e-15 * anorm;
+
+  auto rotate_cols = [](CMatrix& m, int p, int q, double c, double s) {
+    cplx* rp = m.row(std::size_t(p));
+    cplx* rq = m.row(std::size_t(q));
+    const std::size_t cols = m.cols();
+    for (std::size_t i = 0; i < cols; ++i) {
+      const cplx y = rp[i], z = rq[i];
+      rp[i] = y * c + z * s;
+      rq[i] = z * c - y * s;
+    }
+  };
+
+  for (int k = n - 1; k >= 0; --k) {
+    for (int its = 0; its < 75; ++its) {
+      bool flag = true;
+      int l = k, nm = k - 1;
+      for (; l >= 0; --l) {
+        nm = l - 1;
+        if (l == 0 || std::abs(e[l]) <= eps) {
+          flag = false;
+          break;
+        }
+        if (std::abs(d[nm]) <= eps) break;
+      }
+      if (flag) {
+        // d[l-1] negligible: cancel e[l] with rotations touching U.
+        double c = 0.0, s = 1.0;
+        for (int i = l; i <= k; ++i) {
+          const double f = s * e[i];
+          e[i] = c * e[i];
+          if (std::abs(f) <= eps) break;
+          const double g = d[i];
+          const double h = pythag(f, g);
+          d[i] = h;
+          const double hinv = 1.0 / h;
+          c = g * hinv;
+          s = -f * hinv;
+          rotate_cols(ut, nm, i, c, s);
+        }
+      }
+      const double z = d[k];
+      if (l == k) {
+        if (z < 0) {
+          d[k] = -z;
+          cplx* vk = vt.row(std::size_t(k));
+          for (std::size_t c2 = 0; c2 < vt.cols(); ++c2) vk[c2] = -vk[c2];
+        }
+        break;
+      }
+      if (its == 74) return false;
+
+      // Wilkinson-style shift from the trailing 2x2.
+      double x = d[l];
+      nm = k - 1;
+      double y = d[nm];
+      double g = e[nm], h = e[k];
+      double f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+      g = pythag(f, 1.0);
+      const double sign_g = f >= 0 ? std::abs(g) : -std::abs(g);
+      f = ((x - z) * (x + z) + h * (y / (f + sign_g) - h)) / x;
+      double c = 1.0, s = 1.0;
+      for (int j = l; j <= nm; ++j) {
+        const int i = j + 1;
+        g = e[i];
+        y = d[i];
+        h = s * g;
+        g = c * g;
+        double zz = pythag(f, h);
+        e[j] = zz;
+        c = f / zz;
+        s = h / zz;
+        f = x * c + g * s;
+        g = g * c - x * s;
+        h = y * s;
+        y *= c;
+        rotate_cols(vt, j, i, c, s);
+        zz = pythag(f, h);
+        d[j] = zz;
+        if (zz != 0.0) {
+          const double zi = 1.0 / zz;
+          c = f * zi;
+          s = h * zi;
+        }
+        f = c * g + s * y;
+        x = c * y - s * g;
+        rotate_cols(ut, j, i, c, s);
+      }
+      e[l] = 0.0;
+      e[k] = f;
+      d[k] = x;
+    }
+  }
+  return true;
+}
+
+// Golub-Kahan SVD for m >= n; returns false on QR non-convergence.
+bool svd_golub_kahan(const CMatrix& a_in, SvdResult& out) {
+  const std::size_t m = a_in.rows(), n = a_in.cols();
+  CMatrix a = a_in;
+
+  // Householder bidiagonalization; vectors stored in-place in a. The k-th
+  // right reflector also covers the tail-less k = n-2 case, where it reduces
+  // to the phase rotation that makes the last superdiagonal real.
+  std::vector<Reflector> left(n), right(n >= 1 ? n - 1 : 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Column k: zero below the diagonal.
+    std::vector<cplx> col(m - k - 1);
+    for (std::size_t i = 0; i < col.size(); ++i) col[i] = a(k + 1 + i, k);
+    left[k] = make_reflector(a(k, k), col.data(), col.size());
+    for (std::size_t i = 0; i < col.size(); ++i) a(k + 1 + i, k) = col[i];
+    if (left[k].tau != cplx{}) {
+      // Apply (I - conj(tau) v v^H) to the trailing columns.
+      reflect_left(a, k, k + 1, col.data(), col.size(),
+                   std::conj(left[k].tau));
+    }
+    a(k, k) = left[k].beta;
+
+    if (k + 1 < n) {
+      // Row k: zero beyond the superdiagonal via the conjugated-row trick.
+      std::vector<cplx> row(n - k - 2);
+      for (std::size_t j = 0; j < row.size(); ++j)
+        row[j] = std::conj(a(k, k + 2 + j));
+      cplx alpha = std::conj(a(k, k + 1));
+      right[k] = make_reflector(alpha, row.data(), row.size());
+      for (std::size_t j = 0; j < row.size(); ++j) a(k, k + 2 + j) = row[j];
+      if (right[k].tau != cplx{}) {
+        // A <- A (I - tau v v^H) on rows k+1.. (row k handled analytically).
+        reflect_right(a, k + 1, k + 1, row.data(), row.size(), right[k].tau);
+      }
+      a(k, k + 1) = right[k].beta;
+    }
+  }
+
+  std::vector<double> d(n), e(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = a(i, i).real();
+  for (std::size_t i = 1; i < n; ++i) e[i] = a(i - 1, i).real();
+
+  // Backward-accumulate U = H_1 ... H_n * [e1..en] and V = W_1 ... W_r * I.
+  CMatrix u(m, n);
+  for (std::size_t i = 0; i < n; ++i) u(i, i) = 1.0;
+  for (std::size_t kk = n; kk-- > 0;) {
+    std::vector<cplx> v(m - kk - 1);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = a(kk + 1 + i, kk);
+    reflect_left(u, kk, kk, v.data(), v.size(), left[kk].tau);
+  }
+  CMatrix vmat = CMatrix::identity(n);
+  for (std::size_t kk = right.size(); kk-- > 0;) {
+    std::vector<cplx> v(n - kk - 2);
+    for (std::size_t j = 0; j < v.size(); ++j) v[j] = a(kk, kk + 2 + j);
+    reflect_left(vmat, kk + 1, kk + 1, v.data(), v.size(), right[kk].tau);
+  }
+
+  // Transposed copies keep the QR rotations on contiguous rows.
+  CMatrix ut = u.transposed();
+  CMatrix vt = vmat.transposed();
+  if (!bidiagonal_qr(d, e, ut, vt)) return false;
+
+  // Sort singular values descending, permuting the factors.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return d[x] > d[y]; });
+  out.u = CMatrix(m, n);
+  out.s.resize(n);
+  out.vh = CMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.s[j] = d[src];
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = ut(src, i);
+    for (std::size_t i = 0; i < n; ++i) out.vh(j, i) = std::conj(vt(src, i));
+  }
+  return true;
+}
+
+}  // namespace
+
+SvdResult svd(const CMatrix& a) {
+  require(!a.empty(), "svd: empty matrix");
+  if (a.rows() < a.cols()) {
+    SvdResult t = svd(a.adjoint());
+    SvdResult r;
+    r.s = std::move(t.s);
+    r.u = t.vh.adjoint();
+    r.vh = t.u.adjoint();
+    return r;
+  }
+  SvdResult out;
+  if (svd_golub_kahan(a, out)) return out;
+  // Extremely rare: fall back to the unconditionally-convergent Jacobi path.
+  return svd_jacobi(a);
+}
+
+TruncatedSvd svd_truncated(const CMatrix& a, std::size_t max_rank,
+                           double cutoff) {
+  SvdResult full = svd(a);
+  const std::size_t k = full.s.size();
+  double total = 0;
+  for (double x : full.s) total += x * x;
+
+  const double smax = full.s.empty() ? 0.0 : full.s[0];
+  std::size_t keep = std::min(max_rank, k);
+  while (keep > 1 && full.s[keep - 1] <= cutoff * smax) --keep;
+  // Never keep exact zeros (they carry no state weight).
+  while (keep > 1 && full.s[keep - 1] == 0.0) --keep;
+
+  TruncatedSvd r;
+  double kept = 0;
+  for (std::size_t j = 0; j < keep; ++j) kept += full.s[j] * full.s[j];
+  r.truncation_error = total > 0 ? std::max(0.0, 1.0 - kept / total) : 0.0;
+  r.s.assign(full.s.begin(), full.s.begin() + keep);
+  r.u = CMatrix(a.rows(), keep);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < keep; ++j) r.u(i, j) = full.u(i, j);
+  r.vh = CMatrix(keep, a.cols());
+  for (std::size_t j = 0; j < keep; ++j)
+    for (std::size_t i = 0; i < a.cols(); ++i) r.vh(j, i) = full.vh(j, i);
+  return r;
+}
+
+}  // namespace q2::la

@@ -1,0 +1,43 @@
+// Complex singular value decomposition — the LAPACK-zgesvd stand-in that the
+// MPS two-site update (paper Eq. 9) funnels through. The production path is
+// Golub-Kahan (Householder bidiagonalization + implicit-shift QR on the real
+// bidiagonal, exactly the BDC/QR route the paper describes for swBLAS); a
+// one-sided Jacobi implementation is kept as an independently-derived
+// cross-check and fallback.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace q2::la {
+
+struct SvdResult {
+  CMatrix u;               ///< m x k, orthonormal columns (k = min(m, n)).
+  std::vector<double> s;   ///< k singular values, descending.
+  CMatrix vh;              ///< k x n, orthonormal rows (V adjoint).
+};
+
+/// Thin SVD of an arbitrary complex matrix (Golub-Kahan; falls back to
+/// Jacobi on the rare non-convergence).
+SvdResult svd(const CMatrix& a);
+
+/// One-sided Jacobi SVD — slower but unconditionally stable; used to
+/// cross-validate the Golub-Kahan path and by the CPE-parallel kernel.
+SvdResult svd_jacobi(const CMatrix& a);
+
+struct TruncatedSvd {
+  CMatrix u;
+  std::vector<double> s;
+  CMatrix vh;
+  /// Discarded weight: sum of squared dropped singular values divided by the
+  /// total squared norm — the truncation-error monitor the paper describes.
+  double truncation_error = 0.0;
+};
+
+/// SVD truncated to at most `max_rank` singular values, additionally dropping
+/// values below `cutoff * s_max`. This is the D-truncation of the MPS bond.
+TruncatedSvd svd_truncated(const CMatrix& a, std::size_t max_rank,
+                           double cutoff = 0.0);
+
+}  // namespace q2::la

@@ -1,0 +1,182 @@
+#include "linalg/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "linalg/gemm.hpp"
+
+namespace q2::la {
+namespace {
+
+std::size_t product(const std::vector<std::size_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+
+std::vector<std::size_t> row_major_strides(const std::vector<std::size_t>& shape) {
+  std::vector<std::size_t> s(shape.size(), 1);
+  for (std::size_t i = shape.size(); i-- > 1;) s[i - 1] = s[i] * shape[i];
+  return s;
+}
+
+bool is_identity(const std::vector<std::size_t>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    if (perm[i] != i) return false;
+  return true;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(product(shape_), cplx{}) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<cplx> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  require(data_.size() == product(shape_), "Tensor: data/shape size mismatch");
+}
+
+cplx& Tensor::at(std::initializer_list<std::size_t> idx) {
+  return const_cast<cplx&>(std::as_const(*this).at(idx));
+}
+
+const cplx& Tensor::at(std::initializer_list<std::size_t> idx) const {
+  require(idx.size() == shape_.size(), "Tensor::at: rank mismatch");
+  const auto strides = row_major_strides(shape_);
+  std::size_t flat = 0, axis = 0;
+  for (std::size_t i : idx) flat += i * strides[axis++];
+  return data_[flat];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  require(product(new_shape) == data_.size(), "Tensor::reshaped: size mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::permuted(const std::vector<std::size_t>& perm) const {
+  require(perm.size() == shape_.size(), "Tensor::permuted: rank mismatch");
+  if (is_identity(perm)) return *this;
+
+  std::vector<std::size_t> new_shape(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) new_shape[i] = shape_[perm[i]];
+  const auto old_strides = row_major_strides(shape_);
+
+  // For output position (i0, i1, ...): input stride of output axis k is
+  // old_strides[perm[k]]; walk output linearly, input with mixed strides.
+  std::vector<std::size_t> in_stride(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k)
+    in_stride[k] = old_strides[perm[k]];
+
+  Tensor out(new_shape);
+  const std::size_t rank = perm.size();
+  std::vector<std::size_t> idx(rank, 0);
+  std::size_t in_off = 0;
+  for (std::size_t o = 0; o < out.data_.size(); ++o) {
+    out.data_[o] = data_[in_off];
+    // Odometer increment over the output index, updating the input offset.
+    for (std::size_t ax = rank; ax-- > 0;) {
+      if (++idx[ax] < new_shape[ax]) {
+        in_off += in_stride[ax];
+        break;
+      }
+      in_off -= in_stride[ax] * (new_shape[ax] - 1);
+      idx[ax] = 0;
+    }
+  }
+  return out;
+}
+
+CMatrix Tensor::as_matrix(std::size_t split) const {
+  require(split <= shape_.size(), "Tensor::as_matrix: bad split");
+  std::size_t rows = 1, cols = 1;
+  for (std::size_t i = 0; i < split; ++i) rows *= shape_[i];
+  for (std::size_t i = split; i < shape_.size(); ++i) cols *= shape_[i];
+  CMatrix m(rows, cols);
+  std::copy(data_.begin(), data_.end(), m.data());
+  return m;
+}
+
+Tensor Tensor::from_matrix(const CMatrix& m, std::vector<std::size_t> shape) {
+  require(product(shape) == m.size(), "Tensor::from_matrix: size mismatch");
+  std::vector<cplx> data(m.data(), m.data() + m.size());
+  return Tensor(std::move(shape), std::move(data));
+}
+
+double Tensor::frobenius_norm() const {
+  double s = 0;
+  for (const auto& z : data_) s += norm2(z);
+  return std::sqrt(s);
+}
+
+namespace {
+
+struct ContractionPlan {
+  std::vector<std::size_t> perm_a, perm_b;  // contracted axes moved to edge
+  std::vector<std::size_t> out_shape;
+  std::size_t m = 1, k = 1, n = 1;
+};
+
+ContractionPlan plan_contraction(const Tensor& a,
+                                 const std::vector<std::size_t>& axes_a,
+                                 const Tensor& b,
+                                 const std::vector<std::size_t>& axes_b) {
+  require(axes_a.size() == axes_b.size(), "contract: axis count mismatch");
+  ContractionPlan p;
+  std::vector<bool> used_a(a.rank(), false), used_b(b.rank(), false);
+  for (std::size_t i = 0; i < axes_a.size(); ++i) {
+    require(axes_a[i] < a.rank() && axes_b[i] < b.rank(),
+            "contract: axis out of range");
+    require(a.dim(axes_a[i]) == b.dim(axes_b[i]),
+            "contract: contracted dimensions differ");
+    used_a[axes_a[i]] = true;
+    used_b[axes_b[i]] = true;
+    p.k *= a.dim(axes_a[i]);
+  }
+  for (std::size_t i = 0; i < a.rank(); ++i)
+    if (!used_a[i]) {
+      p.perm_a.push_back(i);
+      p.out_shape.push_back(a.dim(i));
+      p.m *= a.dim(i);
+    }
+  p.perm_a.insert(p.perm_a.end(), axes_a.begin(), axes_a.end());
+  p.perm_b = axes_b;
+  for (std::size_t i = 0; i < b.rank(); ++i)
+    if (!used_b[i]) {
+      p.perm_b.push_back(i);
+      p.out_shape.push_back(b.dim(i));
+      p.n *= b.dim(i);
+    }
+  return p;
+}
+
+}  // namespace
+
+Tensor contract(const Tensor& a, const std::vector<std::size_t>& axes_a,
+                const Tensor& b, const std::vector<std::size_t>& axes_b) {
+  ContractionPlan p = plan_contraction(a, axes_a, b, axes_b);
+  // The permutation is fused into matrix packing: permuted() short-circuits
+  // identity permutations (the common adjacent-gate case), so data moves at
+  // most once before the blocked GEMM.
+  const CMatrix ma = a.permuted(p.perm_a).as_matrix(a.rank() - axes_a.size());
+  const CMatrix mb = b.permuted(p.perm_b).as_matrix(axes_b.size());
+  const CMatrix mc = matmul(ma, mb);
+  if (p.out_shape.empty()) p.out_shape = {1};
+  return Tensor::from_matrix(mc, p.out_shape);
+}
+
+Tensor contract_reference(const Tensor& a, const std::vector<std::size_t>& axes_a,
+                          const Tensor& b, const std::vector<std::size_t>& axes_b) {
+  ContractionPlan p = plan_contraction(a, axes_a, b, axes_b);
+  // Force both copies and the naive kernel: this is the unfused baseline.
+  std::vector<std::size_t> bump_a(p.perm_a), bump_b(p.perm_b);
+  Tensor ta = a.permuted(bump_a);
+  Tensor tb = b.permuted(bump_b);
+  CMatrix ma = ta.as_matrix(a.rank() - axes_a.size());
+  CMatrix mb = tb.as_matrix(axes_b.size());
+  CMatrix mc;
+  gemm_naive(ma, mb, mc);
+  if (p.out_shape.empty()) p.out_shape = {1};
+  return Tensor::from_matrix(mc, p.out_shape);
+}
+
+}  // namespace q2::la

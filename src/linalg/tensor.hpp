@@ -1,0 +1,62 @@
+// Dense complex tensor of arbitrary rank with permutation and pairwise
+// contraction. Contraction is implemented as (permute -> GEMM -> permute),
+// with the index permutation fused into the GEMM packing step when possible —
+// the "fused permutation and multiplication technique" of the paper.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace q2::la {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::vector<std::size_t> shape, std::vector<cplx> data);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+
+  cplx& operator[](std::size_t i) { return data_[i]; }
+  const cplx& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Element access by multi-index (row-major strides).
+  cplx& at(std::initializer_list<std::size_t> idx);
+  const cplx& at(std::initializer_list<std::size_t> idx) const;
+
+  /// Reinterpret with a new shape of the same total size (no copy).
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// Permute axes: result axis i takes input axis perm[i].
+  Tensor permuted(const std::vector<std::size_t>& perm) const;
+
+  /// View the tensor as a matrix splitting axes at `split`: rows = product of
+  /// the first `split` dims, cols = the rest.
+  CMatrix as_matrix(std::size_t split) const;
+  static Tensor from_matrix(const CMatrix& m, std::vector<std::size_t> shape);
+
+  double frobenius_norm() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<cplx> data_;
+};
+
+/// Contract `axes_a` of `a` with `axes_b` of `b` (paired in order). The result
+/// carries the free axes of `a` followed by the free axes of `b`.
+Tensor contract(const Tensor& a, const std::vector<std::size_t>& axes_a,
+                const Tensor& b, const std::vector<std::size_t>& axes_b);
+
+/// Unfused reference contraction (explicit permute copies, naive GEMM), kept
+/// as the baseline half of the fused-kernel ablation bench.
+Tensor contract_reference(const Tensor& a, const std::vector<std::size_t>& axes_a,
+                          const Tensor& b, const std::vector<std::size_t>& axes_b);
+
+}  // namespace q2::la

@@ -1,0 +1,91 @@
+#include "parallel/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace q2::par {
+
+void Comm::barrier() {
+  auto& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mutex);
+  const std::uint64_t gen = st.generation;
+  if (++st.arrived == st.size) {
+    st.arrived = 0;
+    ++st.generation;
+    st.cv.notify_all();
+  } else {
+    st.cv.wait(lock, [&] { return st.generation != gen; });
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t nbytes, int root) {
+  auto& st = *state_;
+  if (rank_ == root) st.bcast_ptr = data;
+  barrier();
+  if (rank_ != root) {
+    std::memcpy(data, st.bcast_ptr, nbytes);
+    account(nbytes);
+  }
+  barrier();  // keep the root's buffer alive until every rank copied
+}
+
+void Comm::collect_slots(const void* ptr) {
+  state_->slots[rank_] = ptr;
+  barrier();
+}
+
+Comm Comm::split(int color, int key) {
+  auto& st = *state_;
+  st.split_keys[rank_] = {color, key};
+  barrier();
+
+  // Every rank deterministically computes the same grouping.
+  std::vector<int> members;
+  for (int r = 0; r < st.size; ++r)
+    if (st.split_keys[r].first == color) members.push_back(r);
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    return st.split_keys[a].second < st.split_keys[b].second;
+  });
+  const int new_rank =
+      int(std::find(members.begin(), members.end(), rank_) - members.begin());
+
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.split_children.count(color)) {
+      st.split_children[color] =
+          std::make_shared<detail::CommState>(int(members.size()));
+    }
+  }
+  barrier();
+  auto child = st.split_children[color];
+  barrier();
+  // Rank 0 of the parent clears the table so split() can be called again.
+  if (rank_ == 0) st.split_children.clear();
+  barrier();
+  return Comm(child, new_rank);
+}
+
+void World::run(const std::function<void(Comm&)>& fn) const {
+  auto state = std::make_shared<detail::CommState>(size_);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(size_);
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  total_bytes_ = 0;
+  for (auto b : state->bytes) total_bytes_ += b;
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace q2::par

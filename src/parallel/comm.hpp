@@ -1,0 +1,146 @@
+// Simulated MPI: a World spawns one thread per rank, each receiving a Comm
+// with Bcast / Reduce / Allreduce / Gather / split semantics matching the
+// subset of MPI the paper's three-level scheme uses (MPI_Bcast of parameters,
+// MPI_Reduce of energies, sub-communicators per DMET fragment). Traffic is
+// byte-accounted per rank so benches can report communication volume exactly
+// as §IV-C does (~15.6 KB per process per VQE iteration).
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace q2::par {
+
+class Comm;
+
+namespace detail {
+
+struct CommState {
+  explicit CommState(int size)
+      : size(size), slots(size, nullptr), split_keys(size), bytes(size, 0) {}
+
+  const int size;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+
+  const void* bcast_ptr = nullptr;
+  std::vector<const void*> slots;
+  std::vector<std::pair<int, int>> split_keys;  // (color, key) per rank
+  std::map<int, std::shared_ptr<CommState>> split_children;
+  std::vector<std::uint64_t> bytes;  // per-rank traffic in bytes
+};
+
+}  // namespace detail
+
+class Comm {
+ public:
+  Comm(std::shared_ptr<detail::CommState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return state_->size; }
+  std::uint64_t bytes_transferred() const { return state_->bytes[rank_]; }
+
+  void barrier();
+
+  /// Broadcast `count` elements of trivially copyable T from `root`.
+  template <typename T>
+  void bcast(T* data, std::size_t count, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(data, count * sizeof(T), root);
+  }
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    bcast(data.data(), data.size(), root);
+  }
+
+  /// Element-wise sum-reduce to `root`; non-root outputs are unspecified.
+  template <typename T>
+  void reduce_sum(T* data, std::size_t count, int root) {
+    collect_slots(data);
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        const T* src = static_cast<const T*>(state_->slots[r]);
+        for (std::size_t i = 0; i < count; ++i) data[i] += src[i];
+        account(count * sizeof(T));
+      }
+    }
+    barrier();
+  }
+  template <typename T>
+  T reduce_sum(T value, int root) {
+    reduce_sum(&value, 1, root);
+    return value;
+  }
+
+  /// Element-wise sum-reduce visible on every rank.
+  template <typename T>
+  void allreduce_sum(T* data, std::size_t count) {
+    std::vector<T> local(data, data + count);
+    collect_slots(local.data());
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      const T* src = static_cast<const T*>(state_->slots[r]);
+      for (std::size_t i = 0; i < count; ++i) data[i] += src[i];
+      account(count * sizeof(T));
+    }
+    barrier();
+  }
+  template <typename T>
+  T allreduce_sum(T value) {
+    allreduce_sum(&value, 1);
+    return value;
+  }
+
+  /// Gather one value from each rank onto every rank (allgather).
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    collect_slots(&value);
+    std::vector<T> out(size());
+    for (int r = 0; r < size(); ++r) {
+      out[r] = *static_cast<const T*>(state_->slots[r]);
+      if (r != rank_) account(sizeof(T));
+    }
+    barrier();
+    return out;
+  }
+
+  /// MPI_Comm_split: ranks with the same color form a sub-communicator,
+  /// ordered by key (ties by parent rank).
+  Comm split(int color, int key);
+
+ private:
+  void bcast_bytes(void* data, std::size_t nbytes, int root);
+  /// Publish a per-rank pointer and synchronize so peers may read it.
+  void collect_slots(const void* ptr);
+  void account(std::size_t nbytes) { state_->bytes[rank_] += nbytes; }
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_;
+};
+
+/// Spawns `size` rank-threads, runs `fn(comm)` on each, joins them all.
+/// Exceptions thrown by any rank are rethrown on the caller thread.
+class World {
+ public:
+  explicit World(int size) : size_(size) {}
+  void run(const std::function<void(Comm&)>& fn) const;
+  /// Total bytes moved across all ranks in the last run().
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  int size_;
+  mutable std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace q2::par

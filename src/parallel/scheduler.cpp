@@ -1,0 +1,62 @@
+#include "parallel/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/types.hpp"
+
+namespace q2::par {
+
+Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
+  require(bins > 0, "lpt_schedule: bins must be positive");
+  Schedule s;
+  s.assignment.resize(costs.size());
+  s.loads.assign(bins, 0.0);
+
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return costs[a] > costs[b];
+  });
+
+  // Min-heap of (load, bin).
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t b = 0; b < bins; ++b) heap.push({0.0, b});
+
+  for (std::size_t i : order) {
+    auto [load, bin] = heap.top();
+    heap.pop();
+    s.assignment[i] = bin;
+    load += costs[i];
+    s.loads[bin] = load;
+    heap.push({load, bin});
+  }
+  s.makespan = *std::max_element(s.loads.begin(), s.loads.end());
+  return s;
+}
+
+Schedule round_robin_schedule(const std::vector<double>& costs,
+                              std::size_t bins) {
+  require(bins > 0, "round_robin_schedule: bins must be positive");
+  Schedule s;
+  s.assignment.resize(costs.size());
+  s.loads.assign(bins, 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    const std::size_t bin = i % bins;
+    s.assignment[i] = bin;
+    s.loads[bin] += costs[i];
+  }
+  s.makespan =
+      s.loads.empty() ? 0.0 : *std::max_element(s.loads.begin(), s.loads.end());
+  return s;
+}
+
+double efficiency(const Schedule& s) {
+  const double total = std::accumulate(s.loads.begin(), s.loads.end(), 0.0);
+  if (s.makespan <= 0.0) return 1.0;
+  return total / (double(s.loads.size()) * s.makespan);
+}
+
+}  // namespace q2::par

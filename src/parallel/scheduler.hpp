@@ -1,0 +1,32 @@
+// Static load balancing for the circuit level of parallelism. Pauli-string
+// circuits have uneven costs (string support length varies), so the driver
+// partitions them with longest-processing-time (LPT) list scheduling — the
+// "adapted dynamical load balancing algorithm" of the paper, applied to the
+// per-iteration cost estimates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace q2::par {
+
+struct Schedule {
+  /// assignment[i] = bin (rank) executing task i.
+  std::vector<std::size_t> assignment;
+  /// Summed cost per bin.
+  std::vector<double> loads;
+  double makespan = 0.0;
+};
+
+/// LPT list scheduling of weighted tasks into `bins` bins.
+Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins);
+
+/// Round-robin baseline (what a cost-oblivious distribution would do); kept
+/// for the load-balancing ablation bench.
+Schedule round_robin_schedule(const std::vector<double>& costs,
+                              std::size_t bins);
+
+/// Parallel efficiency of a schedule: total_work / (bins * makespan).
+double efficiency(const Schedule& s);
+
+}  // namespace q2::par

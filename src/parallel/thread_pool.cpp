@@ -1,0 +1,78 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace q2::par {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  // Dynamic scheduling via a shared counter: workers grab `grain`-sized
+  // chunks, which load-balances uneven iterations (e.g. Pauli circuits).
+  auto counter = std::make_shared<std::atomic<std::size_t>>(begin);
+  std::vector<std::future<void>> futs;
+  const std::size_t nworkers = std::min(size(), (end - begin + grain - 1) / grain);
+  futs.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    futs.push_back(submit([counter, end, grain, &fn] {
+      for (;;) {
+        const std::size_t lo = counter->fetch_add(grain);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(end, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace q2::par

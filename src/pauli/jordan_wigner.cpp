@@ -1,0 +1,88 @@
+#include "pauli/jordan_wigner.hpp"
+
+namespace q2::pauli {
+
+void FermionOperator::add_term(std::vector<Ladder> ops, cplx coeff) {
+  for (const auto& l : ops)
+    require(l.orbital < n_, "FermionOperator: orbital out of range");
+  terms_.emplace_back(std::move(ops), coeff);
+}
+
+FermionOperator& FermionOperator::operator+=(const FermionOperator& o) {
+  require(n_ == o.n_, "FermionOperator+=: mode count mismatch");
+  terms_.insert(terms_.end(), o.terms_.begin(), o.terms_.end());
+  return *this;
+}
+
+FermionOperator& FermionOperator::operator*=(cplx s) {
+  for (auto& [ops, c] : terms_) c *= s;
+  return *this;
+}
+
+FermionOperator FermionOperator::adjoint() const {
+  FermionOperator r(n_);
+  for (const auto& [ops, c] : terms_) {
+    std::vector<Ladder> rev(ops.rbegin(), ops.rend());
+    for (auto& l : rev) l.dagger = !l.dagger;
+    r.terms_.emplace_back(std::move(rev), std::conj(c));
+  }
+  return r;
+}
+
+namespace {
+
+// a_p = Z_0 ... Z_{p-1} (X_p + i Y_p) / 2;  a_p^dagger uses (X_p - i Y_p) / 2.
+QubitOperator jw_ladder(std::size_t n, std::size_t p, bool dagger) {
+  PauliString with_x(n), with_y(n);
+  for (std::size_t q = 0; q < p; ++q) {
+    with_x.set(q, P::Z);
+    with_y.set(q, P::Z);
+  }
+  with_x.set(p, P::X);
+  with_y.set(p, P::Y);
+  QubitOperator op(n);
+  op.add(with_x, 0.5);
+  op.add(with_y, dagger ? cplx(0, -0.5) : cplx(0, 0.5));
+  return op;
+}
+
+}  // namespace
+
+QubitOperator jw_annihilation(std::size_t n_qubits, std::size_t p) {
+  require(p < n_qubits, "jw_annihilation: orbital out of range");
+  return jw_ladder(n_qubits, p, false);
+}
+
+QubitOperator jw_creation(std::size_t n_qubits, std::size_t p) {
+  require(p < n_qubits, "jw_creation: orbital out of range");
+  return jw_ladder(n_qubits, p, true);
+}
+
+QubitOperator jw_number(std::size_t n_qubits, std::size_t p) {
+  require(p < n_qubits, "jw_number: orbital out of range");
+  QubitOperator op = QubitOperator::identity(n_qubits, 0.5);
+  PauliString z(n_qubits);
+  z.set(p, P::Z);
+  op.add(z, -0.5);
+  return op;
+}
+
+QubitOperator jordan_wigner(const FermionOperator& op) {
+  const std::size_t n = op.n_modes();
+  QubitOperator out(n);
+  for (const auto& [ops, coeff] : op.terms()) {
+    QubitOperator prod = QubitOperator::identity(n, coeff);
+    for (const auto& l : ops) {
+      prod = prod * (l.dagger ? jw_creation(n, l.orbital)
+                              : jw_annihilation(n, l.orbital));
+      // Products of ladder images stay small only if zero terms are pruned
+      // eagerly (many cancel exactly).
+      prod.compress(1e-14);
+    }
+    out += prod;
+  }
+  out.compress(1e-12);
+  return out;
+}
+
+}  // namespace q2::pauli

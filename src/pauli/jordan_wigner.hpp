@@ -1,0 +1,51 @@
+// Fermionic ladder operators and the Jordan-Wigner transformation mapping
+// them to qubit operators (the OpenFermion role in the paper's pipeline).
+// Spin-orbital p maps to qubit p; a_p carries a Z string on qubits < p.
+#pragma once
+
+#include <vector>
+
+#include "pauli/qubit_operator.hpp"
+
+namespace q2::pauli {
+
+/// One ladder operator: orbital index + creation flag.
+struct Ladder {
+  std::size_t orbital;
+  bool dagger;
+};
+
+/// A normal-ordered-agnostic fermionic operator: sum of coeff * products of
+/// ladder operators (applied left to right as written).
+class FermionOperator {
+ public:
+  explicit FermionOperator(std::size_t n_modes) : n_(n_modes) {}
+
+  std::size_t n_modes() const { return n_; }
+
+  void add_term(std::vector<Ladder> ops, cplx coeff);
+  const std::vector<std::pair<std::vector<Ladder>, cplx>>& terms() const {
+    return terms_;
+  }
+
+  FermionOperator& operator+=(const FermionOperator& o);
+  FermionOperator& operator*=(cplx s);
+
+  /// The Hermitian conjugate (reverses products, flips daggers, conjugates).
+  FermionOperator adjoint() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::pair<std::vector<Ladder>, cplx>> terms_;
+};
+
+/// Jordan-Wigner images of single ladder operators.
+QubitOperator jw_annihilation(std::size_t n_qubits, std::size_t p);
+QubitOperator jw_creation(std::size_t n_qubits, std::size_t p);
+/// Number operator a_p^dagger a_p = (I - Z_p) / 2.
+QubitOperator jw_number(std::size_t n_qubits, std::size_t p);
+
+/// Full transform of a fermionic operator.
+QubitOperator jordan_wigner(const FermionOperator& op);
+
+}  // namespace q2::pauli

@@ -1,0 +1,54 @@
+#include "sim/expectation.hpp"
+
+#include <cmath>
+
+namespace q2::sim {
+namespace {
+
+bool qubitwise_compatible(const pauli::PauliString& a,
+                          const pauli::PauliString& b) {
+  for (std::size_t q = 0; q < a.n_qubits(); ++q) {
+    const pauli::P pa = a.get(q), pb = b.get(q);
+    if (pa != pauli::P::I && pb != pauli::P::I && pa != pb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double measure_energy(const Mps& state, const pauli::QubitOperator& h) {
+  require(h.is_hermitian(1e-8), "measure_energy: operator is not Hermitian");
+  return state.expectation(h).real();
+}
+
+double measure_energy(const StateVector& state, const pauli::QubitOperator& h) {
+  require(h.is_hermitian(1e-8), "measure_energy: operator is not Hermitian");
+  return state.expectation(h).real();
+}
+
+std::vector<std::vector<pauli::PauliString>> qubitwise_commuting_groups(
+    const pauli::QubitOperator& op) {
+  std::vector<std::vector<pauli::PauliString>> groups;
+  for (const auto& [p, c] : op.sorted_terms()) {
+    if (p.is_identity()) continue;
+    bool placed = false;
+    for (auto& g : groups) {
+      bool ok = true;
+      for (const auto& member : g) {
+        if (!qubitwise_compatible(p, member)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        g.push_back(p);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({p});
+  }
+  return groups;
+}
+
+}  // namespace q2::sim

@@ -1,0 +1,48 @@
+#include "sim/hadamard_test.hpp"
+
+#include "circuit/builder.hpp"
+#include "sim/statevector.hpp"
+
+namespace q2::sim {
+
+circ::Circuit hadamard_test_circuit(const circ::Circuit& prep,
+                                    const pauli::PauliString& p) {
+  require(std::size_t(prep.n_qubits()) == p.n_qubits(),
+          "hadamard_test_circuit: qubit count mismatch");
+  const int n = prep.n_qubits();
+  circ::Circuit c(n + 1);
+  c.append(prep);
+  c.append(circ::hadamard_test_measurement(p, n));
+  return c;
+}
+
+namespace {
+
+pauli::PauliString z_ancilla(std::size_t n_total) {
+  pauli::PauliString z(n_total);
+  z.set(n_total - 1, pauli::P::Z);
+  return z;
+}
+
+}  // namespace
+
+double hadamard_test_mps(const circ::Circuit& prep,
+                         const std::vector<double>& params,
+                         const pauli::PauliString& p,
+                         const MpsOptions& options) {
+  const circ::Circuit c = hadamard_test_circuit(prep, p);
+  Mps mps(c.n_qubits(), options);
+  mps.run(c, params);
+  return mps.expectation(z_ancilla(std::size_t(c.n_qubits()))).real();
+}
+
+double hadamard_test_statevector(const circ::Circuit& prep,
+                                 const std::vector<double>& params,
+                                 const pauli::PauliString& p) {
+  const circ::Circuit c = hadamard_test_circuit(prep, p);
+  StateVector sv(c.n_qubits());
+  sv.run(c, params);
+  return sv.expectation(z_ancilla(std::size_t(c.n_qubits()))).real();
+}
+
+}  // namespace q2::sim

@@ -1,0 +1,30 @@
+// The paper-faithful measurement path: every Pauli expectation value is
+// obtained by running a separate circuit with an ancilla qubit (Fig. 5) and
+// reading out <Z_ancilla> = Re<psi|P|psi>. This is what a hardware VQE would
+// do, and the unit the second parallelization level distributes.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli_string.hpp"
+#include "sim/mps.hpp"
+
+namespace q2::sim {
+
+/// Builds the full Hadamard-test circuit on n+1 qubits: `prep` (state
+/// preparation + ansatz on qubits [0, n)) followed by the ancilla-controlled
+/// measurement part for `p`.
+circ::Circuit hadamard_test_circuit(const circ::Circuit& prep,
+                                    const pauli::PauliString& p);
+
+/// Runs the Hadamard test on the MPS engine; returns Re<psi|P|psi>.
+double hadamard_test_mps(const circ::Circuit& prep,
+                         const std::vector<double>& params,
+                         const pauli::PauliString& p,
+                         const MpsOptions& options = {});
+
+/// Same on the state-vector engine (the small-system oracle).
+double hadamard_test_statevector(const circ::Circuit& prep,
+                                 const std::vector<double>& params,
+                                 const pauli::PauliString& p);
+
+}  // namespace q2::sim

@@ -1,0 +1,343 @@
+#include "sim/mps.hpp"
+
+#include <cmath>
+
+#include "circuit/routing.hpp"
+#include "common/timer.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+
+namespace q2::sim {
+namespace {
+
+// View of one site tensor slice B_i (physical index fixed): a Dl x Dr matrix.
+la::CMatrix slice(const std::vector<cplx>& t, std::size_t dl, std::size_t dr,
+                  int i) {
+  la::CMatrix m(dl, dr);
+  for (std::size_t a = 0; a < dl; ++a)
+    for (std::size_t b = 0; b < dr; ++b)
+      m(a, b) = t[(a * 2 + std::size_t(i)) * dr + b];
+  return m;
+}
+
+}  // namespace
+
+Mps::Mps(int n_qubits, MpsOptions options)
+    : n_(n_qubits), options_(options) {
+  require(n_qubits >= 2, "Mps: need at least two qubits");
+  require(options_.max_bond >= 1, "Mps: max_bond must be positive");
+  tensors_.resize(n_);
+  dl_.assign(n_, 1);
+  dr_.assign(n_, 1);
+  lambda_.assign(n_ - 1, {1.0});
+  for (int k = 0; k < n_; ++k) {
+    tensors_[k].assign(2, cplx{});
+    tensors_[k][0] = 1.0;  // |0> at each site
+  }
+}
+
+Mps Mps::from_statevector(int n_qubits, const std::vector<cplx>& amps,
+                          MpsOptions options) {
+  require(amps.size() == (std::size_t(1) << n_qubits),
+          "Mps::from_statevector: amplitude count mismatch");
+  Mps mps(n_qubits, options);
+
+  // Rearrange amplitudes into row-major site order (site 0 slowest index);
+  // the state-vector convention keeps qubit q at bit q.
+  const std::size_t dim = amps.size();
+  std::vector<cplx> c(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    std::size_t sv = 0;
+    for (int q = 0; q < n_qubits; ++q)
+      if ((j >> (n_qubits - 1 - q)) & 1) sv |= std::size_t(1) << q;
+    c[j] = amps[sv];
+  }
+
+  // Split off sites from the right: c = (rest) x (2 * D_right), SVD, the V
+  // factor becomes the right-canonical site tensor.
+  std::size_t d_right = 1;
+  for (int site = n_qubits - 1; site >= 1; --site) {
+    const std::size_t cols = 2 * d_right;
+    const std::size_t rows = c.size() / cols;
+    la::CMatrix m(rows, cols);
+    std::copy(c.begin(), c.end(), m.data());
+    la::TruncatedSvd f = la::svd_truncated(m, options.max_bond,
+                                           options.svd_cutoff);
+    const std::size_t k = f.s.size();
+    mps.truncation_error_ += f.truncation_error;
+    mps.tensors_[site].assign(k * cols, cplx{});
+    for (std::size_t r = 0; r < k; ++r)
+      for (std::size_t col = 0; col < cols; ++col)
+        mps.tensors_[site][r * cols + col] = f.vh(r, col);
+    mps.dl_[site] = k;
+    mps.dr_[site] = d_right;
+    double sn = 0;
+    for (double x : f.s) sn += x * x;
+    sn = std::sqrt(sn);
+    mps.lambda_[site - 1].resize(k);
+    for (std::size_t r = 0; r < k; ++r)
+      mps.lambda_[site - 1][r] = sn > 0 ? f.s[r] / sn : 0.0;
+    // carry U * S to the left
+    c.assign(rows * k, cplx{});
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t col = 0; col < k; ++col)
+        c[r * k + col] = f.u(r, col) * f.s[col];
+    d_right = k;
+  }
+  mps.tensors_[0] = c;  // shape (1, 2, d_right)
+  mps.dl_[0] = 1;
+  mps.dr_[0] = d_right;
+  // Normalize the first tensor so the state has unit norm.
+  double nrm = 0;
+  for (const auto& z : mps.tensors_[0]) nrm += norm2(z);
+  nrm = std::sqrt(nrm);
+  if (nrm > 0)
+    for (auto& z : mps.tensors_[0]) z /= nrm;
+  return mps;
+}
+
+std::size_t Mps::bond_dimension(int k) const {
+  require(k >= 0 && k + 1 < n_, "Mps::bond_dimension: bad bond");
+  return dr_[k];
+}
+
+std::size_t Mps::max_bond_dimension() const {
+  std::size_t d = 1;
+  for (int k = 0; k + 1 < n_; ++k) d = std::max(d, dr_[k]);
+  return d;
+}
+
+std::size_t Mps::memory_bytes() const {
+  std::size_t b = 0;
+  for (const auto& t : tensors_) b += t.size() * sizeof(cplx);
+  for (const auto& l : lambda_) b += l.size() * sizeof(double);
+  return b;
+}
+
+void Mps::apply_single(int site, const std::array<cplx, 4>& m) {
+  const std::size_t dl = dl_[site], dr = dr_[site];
+  std::vector<cplx>& t = tensors_[site];
+  for (std::size_t a = 0; a < dl; ++a) {
+    for (std::size_t b = 0; b < dr; ++b) {
+      const cplx t0 = t[(a * 2 + 0) * dr + b];
+      const cplx t1 = t[(a * 2 + 1) * dr + b];
+      t[(a * 2 + 0) * dr + b] = m[0] * t0 + m[1] * t1;
+      t[(a * 2 + 1) * dr + b] = m[2] * t0 + m[3] * t1;
+    }
+  }
+}
+
+void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
+                             bool left_is_hi) {
+  // O[(i j), (i' j')] with i = left site's physical index. The gate matrix is
+  // given in (hi, lo) order; when the left site is the lo qubit, permute.
+  std::array<cplx, 16> o;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int ip = 0; ip < 2; ++ip)
+        for (int jp = 0; jp < 2; ++jp) {
+          const int row = left_is_hi ? i * 2 + j : j * 2 + i;
+          const int col = left_is_hi ? ip * 2 + jp : jp * 2 + ip;
+          o[(i * 2 + j) * 4 + (ip * 2 + jp)] = m_in[row * 4 + col];
+        }
+
+  const std::size_t dl = dl_[n], dm = dr_[n], dr = dr_[n + 1];
+  require(dm == dl_[n + 1], "Mps: inconsistent bond dimensions");
+  ++profile_.gates_applied;
+  Timer hotspot_timer;
+
+  // Eq. (7) part 1: T[(a i'), (j' b)] = sum_m Bn[a,i',m] Bn1[m,j',b].
+  la::CMatrix bn(dl * 2, dm);
+  std::copy(tensors_[n].begin(), tensors_[n].end(), bn.data());
+  la::CMatrix bn1(dm, 2 * dr);
+  std::copy(tensors_[n + 1].begin(), tensors_[n + 1].end(), bn1.data());
+  la::CMatrix t = la::matmul(bn, bn1);
+
+  // Eq. (7) part 2: M[(a i), (j b)] = sum_{i' j'} O[(i j), (i' j')] T.
+  la::CMatrix mm(dl * 2, 2 * dr);
+  for (std::size_t a = 0; a < dl; ++a) {
+    for (std::size_t b = 0; b < dr; ++b) {
+      cplx in[4], out[4] = {};
+      for (int ip = 0; ip < 2; ++ip)
+        for (int jp = 0; jp < 2; ++jp)
+          in[ip * 2 + jp] = t(a * 2 + ip, jp * dr + b);
+      for (int r = 0; r < 4; ++r)
+        for (int k = 0; k < 4; ++k) out[r] += o[r * 4 + k] * in[k];
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) mm(a * 2 + i, j * dr + b) = out[i * 2 + j];
+    }
+  }
+
+  // Eq. (8): weight rows by the left-bond Schmidt values.
+  la::CMatrix mw = mm;
+  if (n > 0) {
+    const std::vector<double>& lam = lambda_[n - 1];
+    for (std::size_t a = 0; a < dl; ++a)
+      for (int i = 0; i < 2; ++i)
+        for (std::size_t col = 0; col < 2 * dr; ++col)
+          mw(a * 2 + i, col) *= lam[a];
+  }
+
+  profile_.contraction_seconds += hotspot_timer.seconds();
+  hotspot_timer.reset();
+
+  // Eq. (9): truncated SVD of the weighted tensor.
+  la::TruncatedSvd f = la::svd_truncated(mw, options_.max_bond,
+                                         options_.svd_cutoff);
+  profile_.svd_seconds += hotspot_timer.seconds();
+  hotspot_timer.reset();
+  const std::size_t k = f.s.size();
+  truncation_error_ += f.truncation_error;
+
+  // Compensate the weight dropped by this truncation (relative, so it is
+  // exact even when the canonical gauge has drifted and ||M'|| != 1).
+  const double norm_scale = 1.0 / std::sqrt(std::max(1e-300, 1.0 - f.truncation_error));
+
+  // New Schmidt vector on bond n (normalized).
+  double kept = 0;
+  for (double s : f.s) kept += s * s;
+  lambda_[n].resize(k);
+  {
+    const double total = std::sqrt(kept);
+    for (std::size_t r = 0; r < k; ++r)
+      lambda_[n][r] = total > 0 ? f.s[r] / total : 0.0;
+  }
+
+  // B_{n+1} <- V (right-canonical by construction).
+  tensors_[n + 1].assign(k * 2 * dr, cplx{});
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t col = 0; col < 2 * dr; ++col)
+      tensors_[n + 1][r * (2 * dr) + col] = f.vh(r, col);
+  dl_[n + 1] = k;
+
+  // Eq. (10): B_n <- M V^dagger (on the unweighted M), renormalized to keep
+  // the state at unit norm after truncation.
+  la::CMatrix bnew = la::matmul(mm, f.vh, la::Op::kNone, la::Op::kAdjoint);
+  tensors_[n].assign(dl * 2 * k, cplx{});
+  for (std::size_t r = 0; r < dl * 2; ++r)
+    for (std::size_t col = 0; col < k; ++col)
+      tensors_[n][r * k + col] = bnew(r, col) * norm_scale;
+  dr_[n] = k;
+  profile_.contraction_seconds += hotspot_timer.seconds();
+}
+
+void Mps::apply(const circ::Gate& g, const std::vector<double>& params) {
+  if (!g.is_two_qubit()) {
+    apply_single(g.qubits[0], g.matrix1(params));
+    return;
+  }
+  const int a = g.qubits[0], b = g.qubits[1];
+  require(std::abs(a - b) == 1,
+          "Mps::apply: two-qubit gates must be nearest-neighbour (route first)");
+  const int left = std::min(a, b);
+  apply_two_adjacent(left, g.matrix2(params), /*left_is_hi=*/a == left);
+}
+
+void Mps::run(const circ::Circuit& c, const std::vector<double>& params) {
+  require(c.n_qubits() == n_, "Mps::run: qubit count mismatch");
+  if (c.is_nearest_neighbour()) {
+    for (const auto& g : c.gates()) apply(g, params);
+  } else {
+    const circ::Circuit routed = circ::route_to_nearest_neighbour(c);
+    for (const auto& g : routed.gates()) apply(g, params);
+  }
+}
+
+namespace {
+
+// Transfer E across one site: E' = sum_{i',i} P[i',i] B_{i'}^dagger (E B_i).
+la::CMatrix transfer(const la::CMatrix& e, const std::vector<cplx>& t,
+                     std::size_t dl, std::size_t dr, const cplx p[4]) {
+  la::CMatrix out(dr, dr);
+  for (int i = 0; i < 2; ++i) {
+    la::CMatrix bi = slice(t, dl, dr, i);
+    la::CMatrix ebi = la::matmul(e, bi);
+    for (int ip = 0; ip < 2; ++ip) {
+      const cplx coeff = p[ip * 2 + i];
+      if (coeff == cplx{}) continue;
+      la::CMatrix bip = slice(t, dl, dr, ip);
+      la::gemm(coeff, bip, la::Op::kAdjoint, ebi, la::Op::kNone, cplx{1}, out);
+    }
+  }
+  return out;
+}
+
+constexpr cplx kIdent[4] = {1, 0, 0, 1};
+
+}  // namespace
+
+double Mps::norm() const {
+  la::CMatrix e(1, 1);
+  e(0, 0) = 1.0;
+  for (int s = 0; s < n_; ++s)
+    e = transfer(e, tensors_[s], dl_[s], dr_[s], kIdent);
+  return std::sqrt(std::abs(e(0, 0).real()));
+}
+
+cplx Mps::expectation(const pauli::PauliString& p) const {
+  require(int(p.n_qubits()) == n_, "Mps::expectation: qubit count mismatch");
+  if (p.is_identity()) {
+    const double nn = norm();
+    return nn * nn;
+  }
+  const auto [lo, hi] = p.support_range();
+
+  // Left environment at bond lo-1 is diag(lambda^2) in the canonical gauge.
+  la::CMatrix e(dl_[lo], dl_[lo]);
+  if (lo == 0) {
+    e(0, 0) = 1.0;
+  } else {
+    const std::vector<double>& lam = lambda_[lo - 1];
+    for (std::size_t a = 0; a < dl_[lo]; ++a) e(a, a) = lam[a] * lam[a];
+  }
+  for (std::size_t s = lo; s <= hi; ++s) {
+    cplx pm[4];
+    pauli::PauliString::single_qubit_matrix(p.get(s), pm);
+    e = transfer(e, tensors_[s], dl_[s], dr_[s], pm);
+  }
+  // Right of the support everything contracts to the identity: take trace.
+  cplx tr{};
+  for (std::size_t a = 0; a < e.rows(); ++a) tr += e(a, a);
+  return tr;
+}
+
+cplx Mps::expectation(const pauli::QubitOperator& op) const {
+  cplx e{};
+  for (const auto& [p, c] : op.terms()) e += c * expectation(p);
+  return e;
+}
+
+std::vector<cplx> Mps::to_statevector() const {
+  require(n_ <= 24, "Mps::to_statevector: too many qubits");
+  // Accumulate left-to-right: rows enumerate (i_0 ... i_s) with i_0 slowest.
+  std::size_t rows = 1;
+  la::CMatrix acc(1, dl_[0]);
+  acc(0, 0) = 1.0;
+  for (int s = 0; s < n_; ++s) {
+    const std::size_t dl = dl_[s], dr = dr_[s];
+    la::CMatrix site(dl, 2 * dr);
+    // reorder (a,i,b) -> rows a, cols (i*dr + b)
+    for (std::size_t a = 0; a < dl; ++a)
+      for (int i = 0; i < 2; ++i)
+        for (std::size_t b = 0; b < dr; ++b)
+          site(a, std::size_t(i) * dr + b) =
+              tensors_[s][(a * 2 + std::size_t(i)) * dr + b];
+    la::CMatrix next = la::matmul(acc, site);  // (rows, 2*dr)
+    rows *= 2;
+    la::CMatrix re(rows, dr);
+    std::copy(next.data(), next.data() + next.size(), re.data());
+    acc = std::move(re);
+  }
+  // acc is (2^n, 1) with site 0 as the most significant index; remap to the
+  // state-vector convention (qubit q at bit q).
+  std::vector<cplx> out(std::size_t(1) << n_);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    std::size_t sv = 0;
+    for (int q = 0; q < n_; ++q)
+      if ((j >> (n_ - 1 - q)) & 1) sv |= std::size_t(1) << q;
+    out[sv] = acc(j, 0);
+  }
+  return out;
+}
+
+}  // namespace q2::sim

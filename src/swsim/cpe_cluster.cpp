@@ -1,0 +1,34 @@
+#include "swsim/cpe_cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace q2::sw {
+
+CpeCluster::CpeCluster(const Sw26010ProSpec& spec)
+    : spec_(spec),
+      pool_(std::min<std::size_t>(
+          spec.cpes_per_cg,
+          std::max(1u, 2 * std::thread::hardware_concurrency()))),
+      ldm_(spec.cpes_per_cg) {
+  for (auto& l : ldm_) l.resize(spec.ldm_bytes);
+}
+
+void CpeCluster::spawn(const SpawnConfig& config, const CpeKernel& kernel) {
+  require(config.num_cpes >= 1 && config.num_cpes <= mesh_size(),
+          "CpeCluster::spawn: bad num_cpes");
+  require(config.ldm_bytes <= spec_.ldm_bytes,
+          "CpeCluster::spawn: LDM request exceeds hardware");
+  const int mesh_cols = 8;
+  // One logical task per CPE; the pool multiplexes them onto the host's
+  // threads. LDM buffers are per-CPE, so semantics match the hardware
+  // regardless of the multiplexing.
+  pool_.parallel_for(0, std::size_t(config.num_cpes), [&](std::size_t id) {
+    // The visible LDM is the configured prefix of this CPE's scratch pad.
+    CpeContext ctx(int(id), mesh_cols, ldm_[id].data(), config.ldm_bytes,
+                   bytes_in_, bytes_out_, transfers_);
+    kernel(ctx);
+  });
+}
+
+}  // namespace q2::sw

@@ -1,0 +1,132 @@
+// Emulation of one core group's 8x8 CPE mesh and its SACA-style spawn
+// interface. Kernels see the same programming model as on the real hardware:
+// a per-CPE scratch-pad ("LDM") of limited size, explicit dma_get/dma_put
+// staging between main memory and LDM (with byte accounting), and a mesh
+// (row, col) identity. spawn(config, kernel) mirrors the paper's
+// `@saca (config...) function (args...)` call form.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/thread_pool.hpp"
+#include "swsim/spec.hpp"
+
+namespace q2::sw {
+
+struct SpawnConfig {
+  int num_cpes = 64;                     ///< CPEs participating (<= mesh size)
+  std::size_t ldm_bytes = 256 * 1024;    ///< LDM budget enforced per CPE
+};
+
+struct DmaCounters {
+  std::uint64_t bytes_in = 0;   ///< main memory -> LDM
+  std::uint64_t bytes_out = 0;  ///< LDM -> main memory
+  std::uint64_t transfers = 0;
+};
+
+class CpeContext {
+ public:
+  CpeContext(int cpe_id, int mesh_cols, std::byte* ldm, std::size_t ldm_bytes,
+             std::atomic<std::uint64_t>& bytes_in,
+             std::atomic<std::uint64_t>& bytes_out,
+             std::atomic<std::uint64_t>& transfers)
+      : cpe_id_(cpe_id),
+        mesh_cols_(mesh_cols),
+        ldm_(ldm),
+        ldm_bytes_(ldm_bytes),
+        bytes_in_(bytes_in),
+        bytes_out_(bytes_out),
+        transfers_(transfers) {}
+
+  int cpe_id() const { return cpe_id_; }
+  int row() const { return cpe_id_ / mesh_cols_; }
+  int col() const { return cpe_id_ % mesh_cols_; }
+
+  std::byte* ldm() { return ldm_; }
+  std::size_t ldm_size() const { return ldm_bytes_; }
+
+  /// DMA main memory -> LDM. `dst` must lie inside this CPE's LDM. A call
+  /// with dst == src only accounts the traffic (used by kernels that gather
+  /// strided data element-wise but still owe the DMA cost).
+  void dma_get(void* dst, const void* src, std::size_t n) {
+    check_ldm_range(dst, n);
+    if (dst != src) std::memcpy(dst, src, n);
+    bytes_in_ += n;
+    ++transfers_;
+  }
+  /// DMA LDM -> main memory. `src` must lie inside this CPE's LDM.
+  /// dst == src accounts the traffic only (see dma_get).
+  void dma_put(void* dst, const void* src, std::size_t n) {
+    check_ldm_range(const_cast<void*>(src), n);
+    if (dst != src) std::memcpy(dst, src, n);
+    bytes_out_ += n;
+    ++transfers_;
+  }
+
+  /// Typed LDM allocator: carves a span out of the scratch pad; throws if the
+  /// kernel exceeds the configured LDM budget (real hardware would fail too).
+  template <typename T>
+  T* ldm_alloc(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    const std::size_t aligned = (ldm_used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    require(aligned + bytes <= ldm_bytes_, "CpeContext: LDM budget exceeded");
+    T* p = reinterpret_cast<T*>(ldm_ + aligned);
+    ldm_used_ = aligned + bytes;
+    return p;
+  }
+  void ldm_reset() { ldm_used_ = 0; }
+
+ private:
+  void check_ldm_range(void* p, std::size_t n) const {
+    const std::byte* b = static_cast<const std::byte*>(p);
+    require(b >= ldm_ && b + n <= ldm_ + ldm_bytes_,
+            "CpeContext: DMA endpoint outside LDM");
+  }
+
+  int cpe_id_;
+  int mesh_cols_;
+  std::byte* ldm_;
+  std::size_t ldm_bytes_;
+  std::size_t ldm_used_ = 0;
+  std::atomic<std::uint64_t>& bytes_in_;
+  std::atomic<std::uint64_t>& bytes_out_;
+  std::atomic<std::uint64_t>& transfers_;
+};
+
+using CpeKernel = std::function<void(CpeContext&)>;
+
+class CpeCluster {
+ public:
+  /// A cluster backed by its own worker threads (one per CPE up to the host's
+  /// capacity; CPEs beyond that are multiplexed, preserving semantics).
+  explicit CpeCluster(const Sw26010ProSpec& spec = {});
+
+  int mesh_size() const { return spec_.cpes_per_cg; }
+  const Sw26010ProSpec& spec() const { return spec_; }
+
+  /// SACA-style spawn: run `kernel` once per participating CPE and wait.
+  void spawn(const SpawnConfig& config, const CpeKernel& kernel);
+
+  DmaCounters counters() const {
+    return {bytes_in_.load(), bytes_out_.load(), transfers_.load()};
+  }
+  void reset_counters() {
+    bytes_in_ = 0;
+    bytes_out_ = 0;
+    transfers_ = 0;
+  }
+
+ private:
+  Sw26010ProSpec spec_;
+  par::ThreadPool pool_;
+  std::vector<std::vector<std::byte>> ldm_;
+  std::atomic<std::uint64_t> bytes_in_{0}, bytes_out_{0}, transfers_{0};
+};
+
+}  // namespace q2::sw

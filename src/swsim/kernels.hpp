@@ -1,0 +1,24 @@
+// Numerical kernels expressed in the CPE programming model: LDM-tiled complex
+// GEMM and a round-robin parallel one-sided Jacobi SVD. These are the
+// MPE+CPE "optimized versions" of the paper's two hotspots (Fig. 11); the
+// MPE-only baselines are the serial kernels in q2::la.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+#include "swsim/cpe_cluster.hpp"
+
+namespace q2::sw {
+
+/// C = A * B computed tile-by-tile on the CPE cluster. Each CPE stages
+/// A/B/C tiles through its LDM with explicit DMA, exactly as the Sunway
+/// kernel would; tile size is derived from the configured LDM budget.
+la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
+                     const la::CMatrix& b, const SpawnConfig& config = {});
+
+/// One-sided Jacobi SVD where each sweep's disjoint column pairs (round-robin
+/// tournament ordering) are rotated in parallel across the CPE mesh.
+la::SvdResult svd_cpe(CpeCluster& cluster, const la::CMatrix& a,
+                      const SpawnConfig& config = {});
+
+}  // namespace q2::sw

@@ -1,0 +1,118 @@
+#include "swsim/machine_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace q2::sw {
+
+double MachineModel::bcast_time(double bytes, long procs) const {
+  if (procs <= 1) return 0.0;
+  const auto& p = machine_.processor;
+  const double hops = std::ceil(std::log2(double(procs)));
+  return hops * (p.net_latency_s + bytes / (p.net_bandwidth_gbs * 1e9));
+}
+
+double MachineModel::reduce_time(double bytes, long procs) const {
+  // Same binomial-tree shape as the broadcast.
+  return bcast_time(bytes, procs);
+}
+
+double MachineModel::cpe_kernel_time(double flops, double dma_bytes,
+                                     int num_cpes, double efficiency) const {
+  const auto& p = machine_.processor;
+  require(num_cpes >= 1, "cpe_kernel_time: need at least one CPE");
+  const double compute =
+      flops / (double(num_cpes) * p.cpe_gflops * 1e9 * efficiency);
+  const double dma = dma_bytes / (p.dma_bandwidth_gbs * 1e9);
+  return std::max(compute, dma) + p.spawn_overhead_s;
+}
+
+double MachineModel::fragment_iteration_time(const CircuitWorkload& w,
+                                             long procs) const {
+  if (w.circuit_costs_s.empty()) return 0.0;
+  const par::Schedule s =
+      par::lpt_schedule(w.circuit_costs_s, std::size_t(std::max(1l, procs)));
+  return s.makespan + bcast_time(w.params_bytes, procs) +
+         reduce_time(w.result_bytes, procs);
+}
+
+double MachineModel::job_time(const DmetWorkload& w, long procs) const {
+  require(procs >= 1, "job_time: need processes");
+  const long groups = std::max(1l, procs / w.procs_per_group);
+  const long group_procs = std::min<long>(procs, w.procs_per_group);
+  const double frag_time =
+      fragment_iteration_time(w.fragment, group_procs) * w.vqe_iterations;
+  const double rounds =
+      std::ceil(double(w.n_fragments) / double(groups));
+  // Final DMET accumulation: one scalar per fragment reduced across groups.
+  const double final_reduce = reduce_time(8.0 * double(w.n_fragments), procs);
+  return rounds * frag_time + final_reduce;
+}
+
+std::vector<ScalingPoint> MachineModel::strong_scaling(
+    const DmetWorkload& w, const std::vector<long>& procs) const {
+  std::vector<ScalingPoint> out;
+  double t0 = 0;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    ScalingPoint p;
+    p.processes = procs[i];
+    p.cores = machine_.cores(procs[i]);
+    p.time_s = job_time(w, procs[i]);
+    if (i == 0) t0 = p.time_s;
+    p.speedup = t0 / p.time_s;
+    const double ideal = double(procs[i]) / double(procs[0]);
+    p.efficiency = p.speedup / ideal;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> MachineModel::weak_scaling(
+    const std::vector<DmetWorkload>& w, const std::vector<long>& procs) const {
+  require(w.size() == procs.size(), "weak_scaling: series length mismatch");
+  std::vector<ScalingPoint> out;
+  double t0 = 0;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    ScalingPoint p;
+    p.processes = procs[i];
+    p.cores = machine_.cores(procs[i]);
+    p.time_s = job_time(w[i], procs[i]);
+    if (i == 0) t0 = p.time_s;
+    p.speedup = double(procs[i]) / double(procs[0]);
+    p.efficiency = t0 / p.time_s;
+    out.push_back(p);
+  }
+  return out;
+}
+
+CircuitWorkload hydrogen_fragment_workload(int qubits_per_fragment,
+                                           std::size_t bond_dimension,
+                                           double host_seconds_per_gate,
+                                           unsigned seed) {
+  require(qubits_per_fragment >= 2, "hydrogen_fragment_workload: need qubits");
+  CircuitWorkload w;
+  const double nq = qubits_per_fragment;
+  // O(Nq^4) Pauli strings (paper §III-D); the constant matches the molecular
+  // Hamiltonians we build (H2: 15 strings on 4 qubits).
+  const std::size_t n_strings = std::size_t(std::max(1.0, 0.0586 * nq * nq * nq * nq));
+  // Ansatz gate count for the distance-truncated UCCSD used at scale: a fixed
+  // number of two-qubit gates per qubit per Trotter layer.
+  const double gates = 60.0 * nq;
+  const double d3 = double(bond_dimension) * double(bond_dimension) *
+                    double(bond_dimension);
+  const double base = gates * d3 * host_seconds_per_gate;
+
+  Rng rng(seed);
+  w.circuit_costs_s.resize(n_strings);
+  for (auto& c : w.circuit_costs_s) {
+    // Measurement sweeps differ by string support; observed spread ~ +-30%.
+    c = base * rng.uniform(0.7, 1.3);
+  }
+  return w;
+}
+
+}  // namespace q2::sw

@@ -1,0 +1,85 @@
+// Analytic performance model of the DMET-MPS-VQE workload on the new Sunway
+// machine. This is the documented substitution for the 20-million-core runs:
+// per-circuit costs are *measured* on this host (or synthesized from kernel
+// flop counts), converted to Sunway process-seconds via the throughput ratio,
+// and composed through the same three-level structure the paper describes —
+// level 1: fragments over process groups (embarrassingly parallel),
+// level 2: Pauli circuits over the ranks of a group (LPT-balanced, with
+//          MPI_Bcast of parameters and MPI_Reduce of energies),
+// level 3: tensor kernels on the CPE mesh (roofline: flops vs DMA bytes).
+#pragma once
+
+#include <vector>
+
+#include "swsim/spec.hpp"
+
+namespace q2::sw {
+
+/// The circuit-evaluation work of one VQE iteration of one fragment.
+struct CircuitWorkload {
+  std::vector<double> circuit_costs_s;  ///< per-circuit time on one process
+  double params_bytes = 15.6e3;  ///< broadcast volume per iteration (§IV-C)
+  double result_bytes = 16;      ///< reduced energy contribution per circuit set
+};
+
+/// A whole DMET-MPS-VQE job.
+struct DmetWorkload {
+  std::size_t n_fragments = 1;
+  long procs_per_group = 2048;  ///< the paper maps each sub-group to 2048 procs
+  CircuitWorkload fragment;     ///< per-fragment circuit set (homogeneous)
+  int vqe_iterations = 1;
+};
+
+struct ScalingPoint {
+  long processes = 0;
+  long cores = 0;
+  double time_s = 0;
+  double speedup = 1;      ///< versus the first point of the series
+  double efficiency = 1;   ///< speedup / ideal-speedup (strong) or t0/t (weak)
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(SunwayMachine machine = {}) : machine_(machine) {}
+
+  const SunwayMachine& machine() const { return machine_; }
+
+  /// Binomial-tree collective time for `bytes` over `procs` ranks.
+  double bcast_time(double bytes, long procs) const;
+  double reduce_time(double bytes, long procs) const;
+
+  /// Roofline time of a CPE kernel: max(compute, DMA) + spawn overhead.
+  double cpe_kernel_time(double flops, double dma_bytes, int num_cpes,
+                         double efficiency) const;
+
+  /// One VQE iteration of one fragment spread over `procs` ranks:
+  /// LPT makespan of the circuit costs + parameter broadcast + energy reduce.
+  double fragment_iteration_time(const CircuitWorkload& w, long procs) const;
+
+  /// Whole-job time on `procs` total processes. Fragments are dealt to
+  /// groups of w.procs_per_group ranks in rounds; a final global reduction
+  /// accumulates fragment energies (one scalar each, §IV-C).
+  double job_time(const DmetWorkload& w, long procs) const;
+
+  /// Strong scaling: fixed workload, growing process counts.
+  std::vector<ScalingPoint> strong_scaling(const DmetWorkload& w,
+                                           const std::vector<long>& procs) const;
+
+  /// Weak scaling: workloads[i] runs on procs[i]; efficiency = t0 / t_i.
+  std::vector<ScalingPoint> weak_scaling(const std::vector<DmetWorkload>& w,
+                                         const std::vector<long>& procs) const;
+
+ private:
+  SunwayMachine machine_;
+};
+
+/// Builds the per-circuit cost vector for a hydrogen-chain fragment from MPS
+/// complexity counts: one circuit per Pauli string, cost proportional to the
+/// ansatz gate count times D^3 plus the string's measurement sweep. `seed`
+/// jitters costs by the observed spread so load balancing is non-trivial.
+CircuitWorkload hydrogen_fragment_workload(int qubits_per_fragment,
+                                           std::size_t bond_dimension,
+                                           double host_seconds_per_gate,
+                                           unsigned seed);
+
+}  // namespace q2::sw

@@ -1,0 +1,3 @@
+#include "swsim/spec.hpp"
+
+// Parameters are data; this TU anchors the header in the library.

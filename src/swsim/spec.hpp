@@ -1,0 +1,45 @@
+// Architectural parameters of the SW26010Pro processor and the new Sunway
+// interconnect, as described in the paper's §II-B plus public figures. These
+// numbers parameterize both the CPE-cluster runtime emulation and the
+// analytic machine model that regenerates the scaling figures.
+#pragma once
+
+#include <cstddef>
+
+namespace q2::sw {
+
+struct Sw26010ProSpec {
+  // Topology (paper §II-B, Fig. 1).
+  int core_groups = 6;        ///< CGs per processor
+  int cpes_per_cg = 64;       ///< 8x8 CPE mesh per CG
+  int mpes_per_cg = 1;
+  std::size_t ldm_bytes = 256 * 1024;   ///< CPE scratch-pad memory
+  std::size_t cg_memory_bytes = std::size_t(16) << 30;  ///< 16 GB per CG
+
+  // Throughput (approximate public SW26010Pro figures; the model only needs
+  // ratios, not absolutes).
+  double cpe_gflops = 14.0;        ///< DP GFLOP/s per CPE
+  double mpe_gflops = 14.0;        ///< DP GFLOP/s per MPE
+  double gemm_efficiency = 0.75;   ///< fraction of peak reached by swBLAS GEMM
+  double svd_efficiency = 0.25;    ///< SVD is memory/latency bound
+
+  // Memory and network.
+  double dma_bandwidth_gbs = 51.2;   ///< LDM<->main memory DMA per CG
+  double net_bandwidth_gbs = 25.0;   ///< injection bandwidth per process
+  double net_latency_s = 1.5e-6;     ///< point-to-point latency
+  double spawn_overhead_s = 5e-6;    ///< CPE kernel launch cost
+
+  int cores_per_process() const { return mpes_per_cg + cpes_per_cg; }  // 65
+};
+
+/// The whole machine: processes = core groups available to the job.
+struct SunwayMachine {
+  Sw26010ProSpec processor;
+  /// 327,680 processes (CGs) ~ 21.3M cores, the paper's largest run.
+  long max_processes = 327'680;
+  long cores(long processes) const {
+    return processes * processor.cores_per_process();
+  }
+};
+
+}  // namespace q2::sw

@@ -1,0 +1,208 @@
+#include "vqe/optimizer.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace q2::vqe {
+namespace {
+
+double nrm2(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+OptimizerResult minimize_adam(const EnergyFn& f, const GradientFn& grad,
+                              std::vector<double> x0,
+                              const OptimizerOptions& options) {
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  const std::size_t n = x0.size();
+  std::vector<double> m(n, 0.0), v(n, 0.0);
+
+  OptimizerResult r;
+  r.parameters = std::move(x0);
+  double e_prev = f(r.parameters);
+  r.history.push_back(e_prev);
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const std::vector<double> g = grad(r.parameters);
+    r.iterations = it;
+    if (nrm2(g) < options.gradient_tolerance) {
+      r.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = kBeta1 * m[i] + (1 - kBeta1) * g[i];
+      v[i] = kBeta2 * v[i] + (1 - kBeta2) * g[i] * g[i];
+      const double mh = m[i] / (1 - std::pow(kBeta1, it));
+      const double vh = v[i] / (1 - std::pow(kBeta2, it));
+      r.parameters[i] -= options.learning_rate * mh / (std::sqrt(vh) + kEps);
+    }
+    const double e = f(r.parameters);
+    r.history.push_back(e);
+    if (std::abs(e - e_prev) < options.energy_tolerance) {
+      r.converged = true;
+      break;
+    }
+    e_prev = e;
+  }
+  r.energy = r.history.back();
+  return r;
+}
+
+OptimizerResult minimize_lbfgs(const EnergyFn& f, const GradientFn& grad,
+                               std::vector<double> x0,
+                               const OptimizerOptions& options) {
+  const std::size_t n = x0.size();
+  constexpr std::size_t kMemory = 10;
+  std::deque<std::vector<double>> s_list, y_list;
+  std::deque<double> rho_list;
+
+  OptimizerResult r;
+  r.parameters = std::move(x0);
+  double e = f(r.parameters);
+  std::vector<double> g = grad(r.parameters);
+  r.history.push_back(e);
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    r.iterations = it;
+    if (nrm2(g) < options.gradient_tolerance) {
+      r.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for the search direction d = -H g.
+    std::vector<double> q = g;
+    std::vector<double> alpha(s_list.size());
+    for (std::size_t i = s_list.size(); i-- > 0;) {
+      alpha[i] = rho_list[i] * dot(s_list[i], q);
+      for (std::size_t k = 0; k < n; ++k) q[k] -= alpha[i] * y_list[i][k];
+    }
+    double gamma = 1.0;
+    if (!s_list.empty()) {
+      const auto& s = s_list.back();
+      const auto& y = y_list.back();
+      const double yy = dot(y, y);
+      if (yy > 0) gamma = dot(s, y) / yy;
+    }
+    for (auto& x : q) x *= gamma;
+    for (std::size_t i = 0; i < s_list.size(); ++i) {
+      const double beta = rho_list[i] * dot(y_list[i], q);
+      for (std::size_t k = 0; k < n; ++k)
+        q[k] += (alpha[i] - beta) * s_list[i][k];
+    }
+    std::vector<double> d(n);
+    for (std::size_t k = 0; k < n; ++k) d[k] = -q[k];
+
+    // Backtracking Armijo line search.
+    double step = 1.0;
+    const double slope = dot(g, d);
+    if (slope >= 0) {
+      // Direction lost descent; reset to steepest descent.
+      for (std::size_t k = 0; k < n; ++k) d[k] = -g[k];
+      s_list.clear();
+      y_list.clear();
+      rho_list.clear();
+      step = options.learning_rate;
+    }
+    std::vector<double> x_new(n);
+    double e_new = e;
+    for (int ls = 0; ls < 40; ++ls) {
+      for (std::size_t k = 0; k < n; ++k)
+        x_new[k] = r.parameters[k] + step * d[k];
+      e_new = f(x_new);
+      if (e_new <= e + 1e-4 * step * dot(g, d)) break;
+      step *= 0.5;
+    }
+
+    const std::vector<double> g_new = grad(x_new);
+    std::vector<double> s(n), y(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      s[k] = x_new[k] - r.parameters[k];
+      y[k] = g_new[k] - g[k];
+    }
+    const double sy = dot(s, y);
+    if (sy > 1e-12) {
+      s_list.push_back(s);
+      y_list.push_back(y);
+      rho_list.push_back(1.0 / sy);
+      if (s_list.size() > kMemory) {
+        s_list.pop_front();
+        y_list.pop_front();
+        rho_list.pop_front();
+      }
+    }
+
+    const double e_prev = e;
+    r.parameters = x_new;
+    g = g_new;
+    e = e_new;
+    r.history.push_back(e);
+    if (std::abs(e - e_prev) < options.energy_tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.energy = e;
+  return r;
+}
+
+OptimizerResult minimize_spsa(const EnergyFn& f, std::vector<double> x0,
+                              Rng& rng, const OptimizerOptions& options) {
+  const std::size_t n = x0.size();
+  OptimizerResult r;
+  r.parameters = std::move(x0);
+  r.history.push_back(f(r.parameters));
+
+  // Standard SPSA gain sequences (Spall 1998).
+  const double a = options.learning_rate, c0 = 0.1;
+  constexpr double kAlpha = 0.602, kGamma = 0.101, kStability = 10.0;
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    r.iterations = it;
+    const double ak = a / std::pow(it + kStability, kAlpha);
+    const double ck = c0 / std::pow(it, kGamma);
+    std::vector<double> delta(n), xp(n), xm(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      delta[k] = rng.uniform() < 0.5 ? -1.0 : 1.0;
+      xp[k] = r.parameters[k] + ck * delta[k];
+      xm[k] = r.parameters[k] - ck * delta[k];
+    }
+    const double diff = (f(xp) - f(xm)) / (2.0 * ck);
+    for (std::size_t k = 0; k < n; ++k)
+      r.parameters[k] -= ak * diff / delta[k];
+    r.history.push_back(f(r.parameters));
+  }
+  r.energy = r.history.back();
+  r.converged = true;  // SPSA runs a fixed budget by design
+  return r;
+}
+
+std::vector<double> finite_difference_gradient(const EnergyFn& f,
+                                               const std::vector<double>& x,
+                                               double eps) {
+  std::vector<double> g(x.size());
+  std::vector<double> xp = x;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    const double orig = xp[k];
+    xp[k] = orig + eps;
+    const double ep = f(xp);
+    xp[k] = orig - eps;
+    const double em = f(xp);
+    xp[k] = orig;
+    g[k] = (ep - em) / (2 * eps);
+  }
+  return g;
+}
+
+}  // namespace q2::vqe

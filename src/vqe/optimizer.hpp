@@ -1,0 +1,49 @@
+// Classical optimizers driving the variational loop: Adam, L-BFGS (with
+// backtracking line search) and SPSA (the shot-frugal optimizer used on real
+// hardware), plus gradient helpers (central differences and the parameter-
+// shift rule).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace q2::vqe {
+
+using EnergyFn = std::function<double(const std::vector<double>&)>;
+using GradientFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+struct OptimizerOptions {
+  int max_iterations = 200;
+  double gradient_tolerance = 1e-6;
+  double energy_tolerance = 1e-10;
+  double learning_rate = 0.1;  ///< Adam step size / SPSA a-parameter
+};
+
+struct OptimizerResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;
+  std::vector<double> parameters;
+  std::vector<double> history;  ///< energy per iteration
+};
+
+OptimizerResult minimize_adam(const EnergyFn& f, const GradientFn& grad,
+                              std::vector<double> x0,
+                              const OptimizerOptions& options = {});
+
+OptimizerResult minimize_lbfgs(const EnergyFn& f, const GradientFn& grad,
+                               std::vector<double> x0,
+                               const OptimizerOptions& options = {});
+
+OptimizerResult minimize_spsa(const EnergyFn& f, std::vector<double> x0,
+                              Rng& rng, const OptimizerOptions& options = {});
+
+/// Central finite-difference gradient.
+std::vector<double> finite_difference_gradient(const EnergyFn& f,
+                                               const std::vector<double>& x,
+                                               double eps = 1e-5);
+
+}  // namespace q2::vqe

@@ -1,0 +1,90 @@
+#include "vqe/vqe_driver.hpp"
+
+#include "chem/hamiltonian.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace q2::vqe {
+namespace {
+
+VqeResult optimize(const EnergyEvaluator& evaluator, const UccsdAnsatz& ansatz,
+                   const VqeOptions& options, const EnergyFn& energy_fn) {
+  GradientFn grad_fn = [&](const std::vector<double>& x) {
+    return finite_difference_gradient(energy_fn, x, options.gradient_eps);
+  };
+  const std::vector<double> x0 = initial_parameters(ansatz);
+
+  OptimizerResult opt;
+  switch (options.method) {
+    case OptimizerKind::kLbfgs:
+      opt = minimize_lbfgs(energy_fn, grad_fn, x0, options.optimizer);
+      break;
+    case OptimizerKind::kAdam:
+      opt = minimize_adam(energy_fn, grad_fn, x0, options.optimizer);
+      break;
+    case OptimizerKind::kSpsa: {
+      Rng rng(7);
+      opt = minimize_spsa(energy_fn, x0, rng, options.optimizer);
+      break;
+    }
+  }
+
+  VqeResult r;
+  r.converged = opt.converged;
+  r.energy = opt.energy;
+  r.iterations = opt.iterations;
+  r.parameters = std::move(opt.parameters);
+  r.history = std::move(opt.history);
+  r.n_pauli_terms = evaluator.n_terms();
+  r.n_parameters = ansatz.n_parameters;
+  r.circuit_gates = ansatz.circuit.size();
+  return r;
+}
+
+}  // namespace
+
+VqeResult run_vqe_on(const pauli::QubitOperator& hamiltonian,
+                     const UccsdAnsatz& ansatz, const VqeOptions& options) {
+  const EnergyEvaluator evaluator(ansatz.circuit, hamiltonian, options.mps,
+                                  options.measurement, options.storage);
+  EnergyFn f = [&](const std::vector<double>& x) { return evaluator.energy(x); };
+  return optimize(evaluator, ansatz, options, f);
+}
+
+VqeResult run_vqe(const chem::MoIntegrals& mo, int n_alpha, int n_beta,
+                  const VqeOptions& options) {
+  require(n_alpha == n_beta, "run_vqe: closed-shell only");
+  const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(mo);
+  const UccsdAnsatz ansatz =
+      build_uccsd(mo.n_orbitals(), n_alpha, n_beta, options.ansatz);
+  return run_vqe_on(h, ansatz, options);
+}
+
+VqeResult run_vqe_distributed(const chem::MoIntegrals& mo, int n_alpha,
+                              int n_beta, const VqeOptions& options,
+                              par::Comm& comm) {
+  require(n_alpha == n_beta, "run_vqe_distributed: closed-shell only");
+  const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(mo);
+  const UccsdAnsatz ansatz =
+      build_uccsd(mo.n_orbitals(), n_alpha, n_beta, options.ansatz);
+  const EnergyEvaluator evaluator(ansatz.circuit, h, options.mps,
+                                  options.measurement, options.storage);
+
+  // Static LPT partition of the Pauli terms over ranks (level-2 parallelism).
+  const par::Schedule schedule =
+      par::lpt_schedule(evaluator.term_costs(), std::size_t(comm.size()));
+  std::vector<std::size_t> mine;
+  for (std::size_t t = 0; t < schedule.assignment.size(); ++t)
+    if (schedule.assignment[t] == std::size_t(comm.rank())) mine.push_back(t);
+
+  EnergyFn f = [&](const std::vector<double>& x) {
+    // Mirror the paper's per-iteration pattern: parameters flow from the
+    // root (MPI_Bcast), partial energies are reduced (MPI_Reduce/Allreduce).
+    std::vector<double> params = x;
+    comm.bcast(params, 0);
+    const double partial = evaluator.partial_energy(params, mine);
+    return evaluator.constant_term() + comm.allreduce_sum(partial);
+  };
+  return optimize(evaluator, ansatz, options, f);
+}
+
+}  // namespace q2::vqe

@@ -1,0 +1,176 @@
+// Integral-engine tests: Boys function identities, analytic s-Gaussian
+// results, Szabo-Ostlund H2/STO-3G anchor values, and permutational
+// symmetries of the ERI tensor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/boys.hpp"
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+
+namespace q2::chem {
+namespace {
+
+TEST(Boys, ZeroArgument) {
+  const auto f = boys(4, 0.0);
+  for (int n = 0; n <= 4; ++n)
+    EXPECT_NEAR(f[std::size_t(n)], 1.0 / (2 * n + 1), 1e-14);
+}
+
+TEST(Boys, ClosedFormF0) {
+  // F_0(x) = sqrt(pi/x)/2 * erf(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0, 40.0}) {
+    const auto f = boys(0, x);
+    const double expect = 0.5 * std::sqrt(kPi / x) * std::erf(std::sqrt(x));
+    EXPECT_NEAR(f[0], expect, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Boys, DownwardRecursionIdentity) {
+  // F_{n-1}(x) = (2x F_n(x) + e^{-x}) / (2n - 1) everywhere.
+  for (double x : {0.2, 1.7, 8.0, 25.0, 50.0}) {
+    const auto f = boys(6, x);
+    for (int n = 6; n >= 1; --n) {
+      EXPECT_NEAR(f[std::size_t(n - 1)],
+                  (2 * x * f[std::size_t(n)] + std::exp(-x)) / (2 * n - 1),
+                  1e-11)
+          << "x=" << x << " n=" << n;
+    }
+  }
+}
+
+TEST(Boys, MonotoneInOrderAndArgument) {
+  const auto f1 = boys(5, 1.0);
+  for (int n = 1; n <= 5; ++n)
+    EXPECT_LT(f1[std::size_t(n)], f1[std::size_t(n - 1)]);
+  const auto f2 = boys(5, 2.0);
+  for (int n = 0; n <= 5; ++n) EXPECT_LT(f2[std::size_t(n)], f1[std::size_t(n)]);
+}
+
+TEST(BasisSet, FunctionsAreNormalized) {
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  EXPECT_EQ(basis.size(), 7u);  // O: 1s 2s 2p(x3); H x2
+  for (std::size_t i = 0; i < basis.size(); ++i)
+    EXPECT_NEAR(overlap_integral(basis[i], basis[i]), 1.0, 1e-10) << i;
+}
+
+TEST(BasisSet, AtomAssignment) {
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  EXPECT_EQ(basis.functions_on_atom(0).size(), 5u);  // oxygen
+  EXPECT_EQ(basis.functions_on_atom(1).size(), 1u);
+  EXPECT_EQ(basis.functions_on_atom(2).size(), 1u);
+}
+
+TEST(BasisSet, SixThirtyOneGHydrogen) {
+  const Molecule mol = Molecule::h2(1.4);
+  const BasisSet basis = BasisSet::build(mol, "6-31g");
+  EXPECT_EQ(basis.size(), 4u);  // two s shells per H
+  for (std::size_t i = 0; i < basis.size(); ++i)
+    EXPECT_NEAR(overlap_integral(basis[i], basis[i]), 1.0, 1e-10);
+}
+
+TEST(Integrals, SingleGaussianAnalyticKinetic) {
+  // For a normalized 1s Gaussian with exponent a: <T> = 3a/2.
+  BasisFunction g;
+  g.lmn = {0, 0, 0};
+  g.center = {0, 0, 0};
+  g.exponents = {0.8};
+  g.coefficients = {primitive_norm(0.8, g.lmn)};
+  EXPECT_NEAR(kinetic_integral(g, g), 3.0 * 0.8 / 2.0, 1e-12);
+}
+
+TEST(Integrals, NuclearAttractionOnCenter) {
+  // <1s|1/r|1s> = 2 sqrt(a / pi) * ... for normalized s Gaussian:
+  // V = -Z * 2 * sqrt(2a/pi) ... use the closed form 2*sqrt(a/(pi/2))/...
+  // <1/r> for N(a) e^{-a r^2} is 2 sqrt(a/pi) * sqrt(2)? Known result:
+  // <1/r> = 2 sqrt(2a/pi). Validate numerically against that.
+  const double a = 1.3;
+  BasisFunction g;
+  g.lmn = {0, 0, 0};
+  g.center = {0, 0, 0};
+  g.exponents = {a};
+  g.coefficients = {primitive_norm(a, g.lmn)};
+  const double v = nuclear_integral(g, g, {0, 0, 0}, 1);
+  EXPECT_NEAR(v, -2.0 * std::sqrt(2.0 * a / kPi), 1e-10);
+}
+
+TEST(Integrals, SzaboOstlundH2Anchors) {
+  // Szabo & Ostlund Table 3.5 (STO-3G, R = 1.4 a0) values.
+  const Molecule mol = Molecule::h2(1.4);
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  EXPECT_NEAR(overlap_integral(basis[0], basis[1]), 0.6593, 2e-4);
+  EXPECT_NEAR(kinetic_integral(basis[0], basis[0]), 0.7600, 2e-4);
+  EXPECT_NEAR(kinetic_integral(basis[0], basis[1]), 0.2365, 2e-4);
+  EXPECT_NEAR(eri_integral(basis[0], basis[0], basis[0], basis[0]), 0.7746,
+              2e-4);
+  EXPECT_NEAR(eri_integral(basis[0], basis[0], basis[1], basis[1]), 0.5697,
+              2e-4);
+  EXPECT_NEAR(eri_integral(basis[1], basis[0], basis[0], basis[0]), 0.4441,
+              2e-4);
+  EXPECT_NEAR(eri_integral(basis[1], basis[0], basis[1], basis[0]), 0.2970,
+              2e-4);
+}
+
+TEST(Integrals, EriEightFoldSymmetry) {
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  // Spot-check (pq|rs) = (qp|rs) = (rs|pq) = ... on p-function quartets.
+  const std::size_t p = 2, q = 4, r = 5, s = 1;  // includes p orbitals
+  const double base = eri_integral(basis[p], basis[q], basis[r], basis[s]);
+  EXPECT_NEAR(eri_integral(basis[q], basis[p], basis[r], basis[s]), base, 1e-11);
+  EXPECT_NEAR(eri_integral(basis[p], basis[q], basis[s], basis[r]), base, 1e-11);
+  EXPECT_NEAR(eri_integral(basis[r], basis[s], basis[p], basis[q]), base, 1e-11);
+}
+
+TEST(Integrals, TablesMatchDirectEvaluation) {
+  const Molecule mol = Molecule::h2(1.4);
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables t = compute_integrals(mol, basis);
+  EXPECT_NEAR(t.overlap(0, 1), overlap_integral(basis[0], basis[1]), 1e-12);
+  EXPECT_NEAR(t.kinetic(1, 1), kinetic_integral(basis[1], basis[1]), 1e-12);
+  EXPECT_NEAR(t.eri(0, 1, 1, 0),
+              eri_integral(basis[0], basis[1], basis[1], basis[0]), 1e-12);
+  // Nuclear table sums attraction to both nuclei.
+  double v = 0;
+  for (const Atom& a : mol.atoms())
+    v += nuclear_integral(basis[0], basis[0], a.xyz, a.z);
+  EXPECT_NEAR(t.nuclear(0, 0), v, 1e-12);
+}
+
+TEST(Integrals, PFunctionOverlapOrthogonality) {
+  // px and py on the same centre are orthogonal; px-px normalized.
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  // O p-functions are indices 2,3,4.
+  EXPECT_NEAR(overlap_integral(basis[2], basis[3]), 0.0, 1e-12);
+  EXPECT_NEAR(overlap_integral(basis[2], basis[4]), 0.0, 1e-12);
+  EXPECT_NEAR(overlap_integral(basis[3], basis[3]), 1.0, 1e-10);
+}
+
+TEST(Molecule, GeometryFactories) {
+  const Molecule ring = Molecule::hydrogen_ring(10, 1.8);
+  EXPECT_EQ(ring.n_atoms(), 10u);
+  // Nearest-neighbour distance equals the requested bond length.
+  double r2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    const double dx = ring.atoms()[0].xyz[d] - ring.atoms()[1].xyz[d];
+    r2 += dx * dx;
+  }
+  EXPECT_NEAR(std::sqrt(r2), 1.8, 1e-10);
+  EXPECT_EQ(ring.n_electrons(), 10);
+
+  const Molecule chain = Molecule::hydrogen_chain(4, 1.4);
+  EXPECT_NEAR(chain.nuclear_repulsion(),
+              1 / 1.4 + 1 / 1.4 + 1 / 1.4 + 1 / 2.8 + 1 / 2.8 + 1 / 4.2, 1e-12);
+
+  const Molecule c6 = Molecule::carbon_ring(6, 2.6, 2.4);
+  EXPECT_EQ(c6.n_atoms(), 6u);
+  EXPECT_EQ(c6.n_electrons(), 36);
+}
+
+}  // namespace
+}  // namespace q2::chem

@@ -1,0 +1,91 @@
+// MP2 / CCSD tests. CCSD is exact for two-electron systems, which gives a
+// sharp equality against FCI; for larger systems it must sit between MP2 and
+// FCI quality.
+#include <gtest/gtest.h>
+
+#include "chem/cc.hpp"
+#include "chem/fci.hpp"
+#include "chem/scf.hpp"
+
+namespace q2::chem {
+namespace {
+
+struct Solved {
+  ScfResult scf;
+  MoIntegrals mo;
+};
+
+Solved solve(const Molecule& mol) {
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables ints = compute_integrals(mol, basis);
+  Solved s;
+  s.scf = rhf(mol, basis, ints);
+  EXPECT_TRUE(s.scf.converged);
+  s.mo = transform_to_mo(ints, s.scf.coefficients, s.scf.nuclear_repulsion);
+  return s;
+}
+
+TEST(Mp2, CorrelationIsNegative) {
+  const Solved s = solve(Molecule::h2(1.4));
+  const double e = mp2_correlation_energy(s.mo, s.scf.n_occupied);
+  EXPECT_LT(e, 0.0);
+  EXPECT_GT(e, -0.1);
+}
+
+TEST(Mp2, H2KnownValue) {
+  // MP2/STO-3G for H2 at 1.4 a0 recovers roughly -0.013 Ha of correlation.
+  const Solved s = solve(Molecule::h2(1.4));
+  const double e = mp2_correlation_energy(s.mo, s.scf.n_occupied);
+  EXPECT_NEAR(e, -0.0131, 2e-3);
+}
+
+TEST(Ccsd, ExactForTwoElectrons) {
+  const Solved s = solve(Molecule::h2(1.4));
+  const CcsdResult cc = ccsd(s.mo, s.scf.n_occupied, s.scf.energy);
+  ASSERT_TRUE(cc.converged);
+  const FciResult fci = fci_ground_state(s.mo, 1, 1);
+  EXPECT_NEAR(cc.energy, fci.energy, 1e-7);
+}
+
+TEST(Ccsd, ExactForStretchedTwoElectrons) {
+  const Solved s = solve(Molecule::h2(2.8));
+  CcsdOptions opts;
+  opts.damping = 0.3;  // stretched geometries need stabilization
+  opts.max_iterations = 400;
+  const CcsdResult cc = ccsd(s.mo, s.scf.n_occupied, s.scf.energy, opts);
+  ASSERT_TRUE(cc.converged);
+  const FciResult fci = fci_ground_state(s.mo, 1, 1);
+  EXPECT_NEAR(cc.energy, fci.energy, 1e-6);
+}
+
+TEST(Ccsd, Mp2FromFirstIteration) {
+  const Solved s = solve(Molecule::h2(1.4));
+  const CcsdResult cc = ccsd(s.mo, s.scf.n_occupied, s.scf.energy);
+  EXPECT_NEAR(cc.mp2_energy, mp2_correlation_energy(s.mo, s.scf.n_occupied),
+              1e-9);
+}
+
+TEST(Ccsd, H4ChainNearFci) {
+  const Solved s = solve(Molecule::hydrogen_chain(4, 1.8));
+  const CcsdResult cc = ccsd(s.mo, s.scf.n_occupied, s.scf.energy);
+  ASSERT_TRUE(cc.converged);
+  const FciResult fci = fci_ground_state(s.mo, 2, 2);
+  // CCSD recovers nearly all correlation for 4 electrons but is not exact.
+  EXPECT_LT(std::abs(cc.energy - fci.energy), 5e-3);
+  EXPECT_LT(cc.energy, s.scf.energy);
+  // Correlation ordering: |MP2| < |CCSD| here.
+  EXPECT_LT(cc.correlation_energy, 0.0);
+  EXPECT_LT(cc.correlation_energy,
+            mp2_correlation_energy(s.mo, s.scf.n_occupied) + 1e-6);
+}
+
+TEST(Ccsd, LihNearFci) {
+  const Solved s = solve(Molecule::lih());
+  const CcsdResult cc = ccsd(s.mo, s.scf.n_occupied, s.scf.energy);
+  ASSERT_TRUE(cc.converged);
+  const FciResult fci = fci_ground_state(s.mo, 2, 2);
+  EXPECT_LT(std::abs(cc.energy - fci.energy), 2e-3);
+}
+
+}  // namespace
+}  // namespace q2::chem

@@ -1,0 +1,235 @@
+// Circuit IR, builder, fusion and routing tests — each transformation must
+// preserve the simulated state exactly (state-vector oracle).
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "circuit/fusion.hpp"
+#include "circuit/routing.hpp"
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+
+namespace q2::circ {
+namespace {
+
+using pauli::PauliString;
+using sim::StateVector;
+
+double state_distance(const StateVector& a, const StateVector& b) {
+  // Global-phase-insensitive distance: 1 - |<a|b>|.
+  cplx ov{};
+  for (std::size_t i = 0; i < a.dim(); ++i)
+    ov += std::conj(a.amplitudes()[i]) * b.amplitudes()[i];
+  return 1.0 - std::abs(ov);
+}
+
+TEST(Circuit, AppendValidation) {
+  Circuit c(2);
+  EXPECT_THROW(c.append(make_x(2)), Error);
+  EXPECT_THROW(c.append(make_cnot(0, 5)), Error);
+  EXPECT_THROW(make_cnot(1, 1), Error);
+}
+
+TEST(Circuit, GateCounts) {
+  Circuit c(3);
+  c.append(make_h(0));
+  c.append(make_cnot(0, 1));
+  c.append(make_cnot(1, 2));
+  c.append(make_rz_param(2, 0, 1.0));
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.two_qubit_gate_count(), 2u);
+  EXPECT_EQ(c.parameter_count(), 1u);
+  EXPECT_TRUE(c.is_nearest_neighbour());
+  c.append(make_cnot(0, 2));
+  EXPECT_FALSE(c.is_nearest_neighbour());
+}
+
+TEST(Builder, HartreeFockPrep) {
+  const Circuit c = hartree_fock_prep(4, 2);
+  StateVector sv(4);
+  sv.run(c);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0b0011]), 1.0, 1e-14);
+}
+
+TEST(Builder, PauliEvolutionIdentityAngle) {
+  Circuit c(3);
+  append_pauli_evolution(c, PauliString::parse(3, "X0 Y1 Z2"), 0.0);
+  StateVector sv(3);
+  sv.apply(make_h(0));
+  const auto before = sv.amplitudes();
+  sv.run(c);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_LT(std::abs(before[i] - sv.amplitudes()[i]), 1e-13);
+}
+
+TEST(Builder, PauliEvolutionMatchesMatrixExponential) {
+  // exp(-i t/2 P) |psi>: for P with P^2 = I, equals cos(t/2) - i sin(t/2) P.
+  Rng rng(3);
+  const PauliString p = PauliString::parse(3, "Y0 X2");
+  const double t = 0.83;
+  Circuit prep = brickwork_circuit(3, 2, rng);
+  StateVector sv(3);
+  sv.run(prep);
+  std::vector<cplx> expect(sv.dim());
+  {
+    std::vector<cplx> px(sv.dim(), cplx{});
+    sim::accumulate_pauli_apply(p, 1.0, sv.amplitudes(), px);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      expect[i] = std::cos(t / 2) * sv.amplitudes()[i] -
+                  cplx(0, 1) * std::sin(t / 2) * px[i];
+  }
+  Circuit c(3);
+  append_pauli_evolution(c, p, t);
+  sv.run(c);
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_LT(std::abs(expect[i] - sv.amplitudes()[i]), 1e-12);
+}
+
+TEST(Builder, ParametricEvolutionMatchesFixed) {
+  const PauliString p = PauliString::parse(4, "Z0 X1 Y3");
+  Circuit fixed(4), param(4);
+  append_pauli_evolution(fixed, p, 1.3 * 0.5);
+  append_pauli_evolution_param(param, p, 0, 0.5);
+  StateVector a(4), b(4);
+  a.apply(make_h(0));
+  b.apply(make_h(0));
+  a.run(fixed);
+  b.run(param, {1.3});
+  EXPECT_LT(state_distance(a, b), 1e-12);
+}
+
+TEST(Builder, HadamardTestMeasuresRealPart) {
+  // Prepare |+> on qubit 0; Hadamard test of X0 must give Re<X> = 1.
+  Circuit prep(1);
+  prep.append(make_h(0));
+  const PauliString x = PauliString::parse(1, "X0");
+  const Circuit full(2);
+  Circuit c(2);
+  c.append(prep);
+  c.append(hadamard_test_measurement(x, 1));
+  StateVector sv(2);
+  sv.run(c);
+  EXPECT_NEAR(sv.expectation(PauliString::parse(2, "Z1")).real(), 1.0, 1e-12);
+}
+
+TEST(Builder, HadamardTestArbitraryString) {
+  Rng rng(4);
+  const Circuit prep = brickwork_circuit(4, 3, rng);
+  const PauliString p = PauliString::parse(4, "X0 Y1 Z3");
+  StateVector direct(4);
+  direct.run(prep);
+  const double expected = direct.expectation(p).real();
+
+  Circuit c(5);
+  c.append(prep);
+  c.append(hadamard_test_measurement(p, 4));
+  StateVector sv(5);
+  sv.run(c);
+  EXPECT_NEAR(sv.expectation(PauliString::parse(5, "Z4")).real(), expected,
+              1e-10);
+}
+
+TEST(Fusion, PreservesStateOnRandomCircuit) {
+  Rng rng(5);
+  Circuit c(4);
+  c.append(make_h(0));
+  c.append(make_t(1));
+  c.append(make_cnot(0, 1));
+  c.append(make_s(2));
+  c.append(make_h(2));
+  c.append(make_cnot(2, 3));
+  c.append(make_sdg(3));
+  c.append(make_cnot(1, 2));
+  c.append(make_h(3));
+  const Circuit fused = fuse_single_qubit_gates(c);
+  StateVector a(4), b(4);
+  a.run(c);
+  b.run(fused);
+  EXPECT_LT(state_distance(a, b), 1e-12);
+}
+
+TEST(Fusion, ReducesGateCount) {
+  Circuit c(2);
+  c.append(make_h(0));
+  c.append(make_s(0));
+  c.append(make_h(1));
+  c.append(make_cnot(0, 1));
+  const Circuit fused = fuse_single_qubit_gates(c);
+  EXPECT_EQ(fused.size(), 1u);  // everything folded into one U2
+  EXPECT_EQ(fused.two_qubit_gate_count(), 1u);
+}
+
+TEST(Fusion, ParametricGatesSurvive) {
+  Circuit c(2);
+  c.append(make_h(0));
+  c.append(make_rz_param(0, 0, 1.0));
+  c.append(make_h(0));
+  c.append(make_cnot(0, 1));
+  const Circuit fused = fuse_single_qubit_gates(c);
+  EXPECT_EQ(fused.parameter_count(), 1u);
+  StateVector a(2), b(2);
+  a.run(c, {0.77});
+  b.run(fused, {0.77});
+  EXPECT_LT(state_distance(a, b), 1e-12);
+}
+
+TEST(Routing, LongRangeCnotPreserved) {
+  Circuit c(5);
+  c.append(make_h(0));
+  c.append(make_cnot(0, 4));
+  const Circuit routed = route_to_nearest_neighbour(c);
+  EXPECT_TRUE(routed.is_nearest_neighbour());
+  StateVector a(5), b(5);
+  a.run(c);
+  b.run(routed);
+  EXPECT_LT(state_distance(a, b), 1e-12);
+}
+
+TEST(Routing, ReversedControlTarget) {
+  Circuit c(4);
+  c.append(make_h(3));
+  c.append(make_cnot(3, 0));  // control above target
+  const Circuit routed = route_to_nearest_neighbour(c);
+  EXPECT_TRUE(routed.is_nearest_neighbour());
+  StateVector a(4), b(4);
+  a.run(c);
+  b.run(routed);
+  EXPECT_LT(state_distance(a, b), 1e-12);
+}
+
+TEST(Routing, RandomLongRangeCircuit) {
+  Rng rng(6);
+  Circuit c(6);
+  for (int k = 0; k < 20; ++k) {
+    const int a = int(rng.index(6));
+    int b = int(rng.index(6));
+    while (b == a) b = int(rng.index(6));
+    c.append(make_h(a));
+    c.append(make_cnot(a, b));
+  }
+  const Circuit routed = route_to_nearest_neighbour(c);
+  EXPECT_TRUE(routed.is_nearest_neighbour());
+  StateVector x(6), y(6);
+  x.run(c);
+  y.run(routed);
+  EXPECT_LT(state_distance(x, y), 1e-11);
+}
+
+TEST(Gate, UnitarityOfNamedGates) {
+  const Gate gates[] = {make_x(0),  make_y(0),   make_z(0),
+                        make_h(0),  make_s(0),   make_sdg(0),
+                        make_t(0),  make_rx(0, 0.3), make_ry(0, 0.4),
+                        make_rz(0, 0.5)};
+  for (const auto& g : gates) {
+    const auto m = g.matrix1();
+    // U U^dagger = I
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j) {
+        cplx s{};
+        for (int k = 0; k < 2; ++k) s += m[i * 2 + k] * std::conj(m[j * 2 + k]);
+        EXPECT_LT(std::abs(s - (i == j ? cplx{1} : cplx{})), 1e-12);
+      }
+  }
+}
+
+}  // namespace
+}  // namespace q2::circ

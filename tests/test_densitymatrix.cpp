@@ -1,0 +1,85 @@
+// Density-matrix simulator tests: pure-state agreement with the state-vector
+// oracle, trace/purity invariants, and the depolarizing channel.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "common/rng.hpp"
+#include "sim/densitymatrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace q2::sim {
+namespace {
+
+using pauli::PauliString;
+
+TEST(DensityMatrix, InitialState) {
+  DensityMatrix dm(2);
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-14);
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-14);
+}
+
+TEST(DensityMatrix, MatchesStateVectorOnPureCircuit) {
+  Rng rng(3);
+  for (int n : {2, 3, 5}) {
+    const circ::Circuit c = circ::brickwork_circuit(n, 3, rng);
+    DensityMatrix dm(n);
+    dm.run(c);
+    StateVector sv(n);
+    sv.run(c);
+    EXPECT_NEAR(dm.trace_real(), 1.0, 1e-10);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-10);
+    for (int trial = 0; trial < 8; ++trial) {
+      PauliString p{std::size_t(n)};
+      for (int q = 0; q < n; ++q) p.set(std::size_t(q), pauli::P(rng.index(4)));
+      EXPECT_LT(std::abs(dm.expectation(p) - sv.expectation(p)), 1e-10)
+          << p.str();
+    }
+  }
+}
+
+TEST(DensityMatrix, CnotAndSingleGates) {
+  DensityMatrix dm(2);
+  dm.apply(circ::make_h(0));
+  dm.apply(circ::make_cnot(0, 1));
+  EXPECT_NEAR(dm.expectation(PauliString::parse(2, "Z0 Z1")).real(), 1.0, 1e-12);
+  EXPECT_NEAR(dm.expectation(PauliString::parse(2, "X0 X1")).real(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingReducesPurity) {
+  DensityMatrix dm(1);
+  dm.apply(circ::make_h(0));
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+  dm.apply_depolarizing(0, 0.2);
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-12);
+  EXPECT_LT(dm.purity(), 1.0 - 1e-3);
+  // <X> shrinks by the depolarizing factor 1 - 4p/3.
+  EXPECT_NEAR(dm.expectation(PauliString::parse(1, "X0")).real(),
+              1.0 - 4.0 * 0.2 / 3.0, 1e-10);
+}
+
+TEST(DensityMatrix, FullDepolarizationIsMaximallyMixed) {
+  DensityMatrix dm(1);
+  dm.apply(circ::make_h(0));
+  dm.apply_depolarizing(0, 0.75);  // p = 3/4 erases the Bloch vector
+  EXPECT_NEAR(dm.expectation(PauliString::parse(1, "X0")).real(), 0.0, 1e-10);
+  EXPECT_NEAR(dm.expectation(PauliString::parse(1, "Z0")).real(), 0.0, 1e-10);
+  EXPECT_NEAR(dm.purity(), 0.5, 1e-10);
+}
+
+TEST(DensityMatrix, NoiseOnEntangledPairDecaysCorrelations) {
+  DensityMatrix dm(2);
+  dm.apply(circ::make_h(0));
+  dm.apply(circ::make_cnot(0, 1));
+  dm.apply_depolarizing(0, 0.1);
+  const double zz = dm.expectation(PauliString::parse(2, "Z0 Z1")).real();
+  EXPECT_LT(zz, 1.0);
+  EXPECT_GT(zz, 0.5);
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, MemoryWallEnforced) {
+  EXPECT_THROW(DensityMatrix dm(15), Error);
+}
+
+}  // namespace
+}  // namespace q2::sim

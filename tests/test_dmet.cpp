@@ -1,0 +1,184 @@
+// DMET tests: bath dimensions, the single-fragment == FCI identity, the H4
+// ring against FCI (the Fig. 7a acceptance criterion, < 0.5 % relative
+// error), chemical-potential behaviour, and distributed == serial.
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/scf.hpp"
+#include "dmet/dmet_driver.hpp"
+#include "linalg/gemm.hpp"
+
+namespace q2::dmet {
+namespace {
+
+chem::MoIntegrals mo_for(const chem::Molecule& mol, double* hf = nullptr,
+                         double* e_fci = nullptr) {
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  const chem::ScfResult scf = chem::rhf(mol, basis, ints);
+  EXPECT_TRUE(scf.converged);
+  if (hf) *hf = scf.energy;
+  chem::MoIntegrals mo =
+      chem::transform_to_mo(ints, scf.coefficients, scf.nuclear_repulsion);
+  if (e_fci) {
+    const int ne = mol.n_electrons();
+    *e_fci = chem::fci_ground_state(mo, ne / 2, ne / 2).energy;
+  }
+  return mo;
+}
+
+TEST(Bath, DimensionsBoundedByFragment) {
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(6, 1.8);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  const chem::ScfResult scf = chem::rhf(mol, basis, ints);
+  const LowdinBasis lb = make_lowdin(ints.overlap);
+  const la::RMatrix p = oao_density(lb, scf.density);
+
+  const auto frags =
+      make_fragments(basis, mol.n_atoms(), uniform_atom_groups(6, 2));
+  for (const Fragment& f : frags) {
+    const EmbeddingBasis emb = make_bath(p, f);
+    EXPECT_EQ(emb.n_fragment, 2u);
+    EXPECT_LE(emb.n_bath, emb.n_fragment);
+    // Embedding orbitals orthonormal.
+    const la::RMatrix g = la::matmul(emb.w, emb.w, la::Op::kTrans, la::Op::kNone);
+    for (std::size_t i = 0; i < g.rows(); ++i)
+      for (std::size_t j = 0; j < g.cols(); ++j)
+        EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-9);
+  }
+}
+
+TEST(Fragmenter, UniformGroupsAndValidation) {
+  const auto groups = uniform_atom_groups(7, 2);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[3].size(), 1u);
+  const chem::Molecule mol = chem::Molecule::hydrogen_chain(4, 1.6);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  EXPECT_THROW(make_fragments(basis, 4, {{0, 1}, {1, 2, 3}}), Error);
+  EXPECT_THROW(make_fragments(basis, 4, {{0, 1}}), Error);
+}
+
+TEST(Dmet, SingleFragmentReproducesFci) {
+  // One fragment covering everything: no bath, no environment, and the DMET
+  // energy must equal FCI exactly.
+  const chem::Molecule mol = chem::Molecule::h2(1.4);
+  double e_fci = 0;
+  mo_for(mol, nullptr, &e_fci);
+
+  DmetOptions opts;
+  opts.fragments = {{0, 1}};
+  const DmetResult r = run_dmet(mol, opts, make_fci_solver());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, e_fci, 1e-7);
+  EXPECT_NEAR(r.total_electrons, 2.0, 1e-7);
+}
+
+TEST(Dmet, H4RingWithinHalfPercentOfFci) {
+  // The Fig. 7(a) acceptance criterion on a small ring: relative error of
+  // the DMET(FCI-solver) energy below 0.5 %.
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
+  double e_hf = 0, e_fci = 0;
+  mo_for(mol, &e_hf, &e_fci);
+
+  DmetOptions opts;
+  opts.fragments = uniform_atom_groups(4, 2);
+  const DmetResult r = run_dmet(mol, opts, make_fci_solver());
+  EXPECT_LT(std::abs((r.energy - e_fci) / e_fci), 5e-3);
+  // DMET should improve on the mean-field reference.
+  EXPECT_LT(std::abs(r.energy - e_fci), std::abs(e_hf - e_fci));
+  EXPECT_NEAR(r.total_electrons, 4.0, opts.electron_tolerance * 10);
+}
+
+TEST(Dmet, H6RingElectronCountMatches) {
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(6, 1.8);
+  DmetOptions opts;
+  opts.fragments = uniform_atom_groups(6, 2);
+  const DmetResult r = run_dmet(mol, opts, make_fci_solver());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.total_electrons, 6.0, 1e-3);
+  ASSERT_EQ(r.fragment_energies.size(), 3u);
+  // Ring symmetry: all fragments equivalent.
+  EXPECT_NEAR(r.fragment_energies[0], r.fragment_energies[1], 1e-5);
+  EXPECT_NEAR(r.fragment_electrons[0], 2.0, 1e-3);
+}
+
+TEST(Dmet, VqeSolverMatchesFciSolverOnH2Fragments) {
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
+  DmetOptions opts;
+  opts.fragments = uniform_atom_groups(4, 2);
+  // The ring is homogeneous, so mu = 0 already balances the electron count;
+  // skipping the fit keeps the VQE-solver test within budget.
+  opts.fit_chemical_potential = false;
+  const DmetResult fci_r = run_dmet(mol, opts, make_fci_solver());
+
+  vqe::VqeOptions vopts;
+  vopts.optimizer.max_iterations = 20;
+  vopts.mps.max_bond = 16;
+  const DmetResult vqe_r = run_dmet(mol, opts, make_vqe_solver(vopts));
+  EXPECT_NEAR(vqe_r.energy, fci_r.energy, 5e-3);
+  EXPECT_NEAR(vqe_r.total_electrons, 4.0, 5e-2);
+}
+
+TEST(Dmet, ChemicalPotentialShiftsElectrons) {
+  // Raising mu on a fragment pulls electrons into it (monotonicity the
+  // bisection relies on).
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  const chem::ScfResult scf = chem::rhf(mol, basis, ints);
+  const LowdinBasis lb = make_lowdin(ints.overlap);
+  const la::RMatrix p = oao_density(lb, scf.density);
+  const auto frags =
+      make_fragments(basis, mol.n_atoms(), uniform_atom_groups(4, 2));
+  const EmbeddingBasis emb = make_bath(p, frags[0]);
+  const EmbeddingProblem prob = make_embedding(ints, lb, p, emb);
+  const FragmentSolver solver = make_fci_solver();
+
+  auto electrons_at = [&](double mu) {
+    const chem::MoIntegrals shifted =
+        with_chemical_potential(prob.solver, prob.fragment_orbitals, mu);
+    return solver(prob, shifted).electrons;
+  };
+  EXPECT_LT(electrons_at(-0.3), electrons_at(0.3));
+}
+
+TEST(Dmet, EmbeddingProblemShapes) {
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(6, 1.8);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  const chem::ScfResult scf = chem::rhf(mol, basis, ints);
+  const LowdinBasis lb = make_lowdin(ints.overlap);
+  const la::RMatrix p = oao_density(lb, scf.density);
+  const auto frags =
+      make_fragments(basis, mol.n_atoms(), uniform_atom_groups(6, 2));
+  const EmbeddingBasis emb = make_bath(p, frags[1]);
+  const EmbeddingProblem prob = make_embedding(ints, lb, p, emb);
+  EXPECT_EQ(prob.solver.n_orbitals(), emb.n_fragment + emb.n_bath);
+  EXPECT_EQ(prob.n_alpha + prob.n_beta, 2 * int(emb.n_fragment));
+  // The solver and energy Hamiltonians share ERIs but differ in h.
+  EXPECT_NEAR(prob.solver.eri(0, 0, 1, 1), prob.energy.eri(0, 0, 1, 1), 1e-12);
+}
+
+TEST(Dmet, DistributedMatchesSerial) {
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
+  DmetOptions opts;
+  opts.fragments = uniform_atom_groups(4, 2);
+  const DmetResult serial = run_dmet(mol, opts, make_fci_solver());
+
+  double dist_energy = 0, dist_ne = 0;
+  par::World world(4);
+  world.run([&](par::Comm& comm) {
+    const DmetResult r =
+        run_dmet_distributed(mol, opts, make_fci_solver(), comm, 2);
+    if (comm.rank() == 0) {
+      dist_energy = r.energy;
+      dist_ne = r.total_electrons;
+    }
+  });
+  EXPECT_NEAR(dist_energy, serial.energy, 1e-9);
+  EXPECT_NEAR(dist_ne, serial.total_electrons, 1e-9);
+}
+
+}  // namespace
+}  // namespace q2::dmet

@@ -1,0 +1,188 @@
+// Runtime tests: thread pool, simulated MPI collectives (with byte
+// accounting and sub-communicators), and the LPT scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/comm.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace q2::par {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, PropagatesNothingOnDestruction) {
+  // Destroying a pool with completed work must join cleanly (no deadlock).
+  for (int round = 0; round < 5; ++round) {
+    ThreadPool pool(2);
+    pool.submit([] {}).get();
+  }
+  SUCCEED();
+}
+
+TEST(Comm, BarrierAndRanks) {
+  World world(5);
+  std::atomic<int> max_rank{-1};
+  world.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    comm.barrier();
+    int expect = max_rank.load();
+    while (comm.rank() > expect &&
+           !max_rank.compare_exchange_weak(expect, comm.rank())) {
+    }
+  });
+  EXPECT_EQ(max_rank.load(), 4);
+}
+
+TEST(Comm, BroadcastFromRoot) {
+  World world(4);
+  world.run([&](Comm& comm) {
+    std::vector<double> data(8, comm.rank() == 1 ? 3.25 : 0.0);
+    comm.bcast(data, 1);
+    for (double x : data) EXPECT_DOUBLE_EQ(x, 3.25);
+  });
+}
+
+TEST(Comm, ReduceSumToRoot) {
+  World world(6);
+  std::atomic<double> result{0};
+  world.run([&](Comm& comm) {
+    const double value = comm.rank() + 1.0;  // 1..6 -> 21
+    const double sum = comm.reduce_sum(value, 0);
+    if (comm.rank() == 0) result.store(sum);
+  });
+  EXPECT_DOUBLE_EQ(result.load(), 21.0);
+}
+
+TEST(Comm, AllreduceVisibleEverywhere) {
+  World world(4);
+  std::atomic<int> correct{0};
+  world.run([&](Comm& comm) {
+    double v = 1.5;
+    v = comm.allreduce_sum(v);
+    if (v == 6.0) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), 4);
+}
+
+TEST(Comm, AllgatherOrdering) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 10);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0], 0);
+    EXPECT_EQ(all[1], 10);
+    EXPECT_EQ(all[2], 20);
+  });
+}
+
+TEST(Comm, RepeatedCollectivesStaySynchronized) {
+  World world(4);
+  world.run([&](Comm& comm) {
+    double acc = 0;
+    for (int it = 0; it < 50; ++it) {
+      std::vector<double> params(3, comm.rank() == 0 ? double(it) : -1.0);
+      comm.bcast(params, 0);
+      EXPECT_DOUBLE_EQ(params[2], double(it));
+      acc = comm.allreduce_sum(params[0]);
+    }
+    EXPECT_DOUBLE_EQ(acc, 4.0 * 49);
+  });
+}
+
+TEST(Comm, ByteAccountingMatchesTraffic) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    std::vector<double> data(100, 1.0);
+    comm.bcast(data, 0);
+    if (comm.rank() == 1)
+      EXPECT_EQ(comm.bytes_transferred(), 100 * sizeof(double));
+    if (comm.rank() == 0) EXPECT_EQ(comm.bytes_transferred(), 0u);
+  });
+  EXPECT_EQ(world.total_bytes(), 100 * sizeof(double));
+}
+
+TEST(Comm, SplitFormsSubCommunicators) {
+  World world(6);
+  world.run([&](Comm& comm) {
+    const int color = comm.rank() % 2;
+    Comm sub = comm.split(color, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Ranks ordered by key (= parent rank).
+    const double sum = sub.allreduce_sum(double(comm.rank()));
+    if (color == 0) EXPECT_DOUBLE_EQ(sum, 0 + 2 + 4);
+    if (color == 1) EXPECT_DOUBLE_EQ(sum, 1 + 3 + 5);
+  });
+}
+
+TEST(Comm, ExceptionOnRankPropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    // Both ranks throw before any collective (no deadlock risk).
+    throw Error("rank failure");
+  }),
+               Error);
+}
+
+TEST(Scheduler, LptBalancesUnevenTasks) {
+  std::vector<double> costs = {10, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const Schedule s = lpt_schedule(costs, 2);
+  EXPECT_DOUBLE_EQ(s.makespan, 10.0);
+  EXPECT_NEAR(efficiency(s), 1.0, 1e-9);
+}
+
+TEST(Scheduler, LptBeatsRoundRobinOnSkewedCosts) {
+  std::vector<double> costs;
+  for (int i = 0; i < 64; ++i) costs.push_back(i % 8 == 0 ? 8.0 : 1.0);
+  const Schedule lpt = lpt_schedule(costs, 8);
+  const Schedule rr = round_robin_schedule(costs, 8);
+  EXPECT_LE(lpt.makespan, rr.makespan);
+  EXPECT_GE(efficiency(lpt), efficiency(rr) - 1e-12);
+}
+
+TEST(Scheduler, AssignmentIsCompleteAndConsistent) {
+  std::vector<double> costs(37, 1.0);
+  const Schedule s = lpt_schedule(costs, 5);
+  std::vector<double> loads(5, 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    ASSERT_LT(s.assignment[i], 5u);
+    loads[s.assignment[i]] += costs[i];
+  }
+  for (std::size_t b = 0; b < 5; ++b)
+    EXPECT_DOUBLE_EQ(loads[b], s.loads[b]);
+  EXPECT_DOUBLE_EQ(std::accumulate(loads.begin(), loads.end(), 0.0), 37.0);
+}
+
+TEST(Scheduler, SingleBinMakespanIsTotal) {
+  std::vector<double> costs = {1, 2, 3};
+  const Schedule s = lpt_schedule(costs, 1);
+  EXPECT_DOUBLE_EQ(s.makespan, 6.0);
+}
+
+}  // namespace
+}  // namespace q2::par

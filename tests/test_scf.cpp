@@ -1,0 +1,156 @@
+// RHF tests: literature anchor energies, variational bounds, idempotency of
+// the converged density, and the MO transform consistency checks.
+#include <gtest/gtest.h>
+
+#include "chem/mo.hpp"
+#include "chem/scf.hpp"
+#include "linalg/gemm.hpp"
+
+namespace q2::chem {
+namespace {
+
+ScfResult solve(const Molecule& mol, const std::string& basis_name = "sto-3g") {
+  const BasisSet basis = BasisSet::build(mol, basis_name);
+  const IntegralTables ints = compute_integrals(mol, basis);
+  return rhf(mol, basis, ints);
+}
+
+TEST(Rhf, H2AtEquilibrium) {
+  // Szabo-Ostlund: E(RHF/STO-3G, R = 1.4) = -1.1167 Ha.
+  const ScfResult r = solve(Molecule::h2(1.4));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -1.1167, 2e-3);
+  EXPECT_EQ(r.n_occupied, 1);
+  EXPECT_NEAR(r.nuclear_repulsion, 1.0 / 1.4, 1e-12);
+}
+
+TEST(Rhf, H2OrbitalEnergies) {
+  const ScfResult r = solve(Molecule::h2(1.4));
+  // Bonding orbital around -0.578, antibonding around +0.67 (S&O).
+  EXPECT_NEAR(r.orbital_energies[0], -0.578, 5e-3);
+  EXPECT_GT(r.orbital_energies[1], 0.5);
+}
+
+TEST(Rhf, WaterAnchorEnergy) {
+  const ScfResult r = solve(Molecule::h2o());
+  ASSERT_TRUE(r.converged);
+  // Literature RHF/STO-3G water energy is about -74.96 Ha.
+  EXPECT_NEAR(r.energy, -74.96, 5e-2);
+  EXPECT_EQ(r.n_occupied, 5);
+}
+
+TEST(Rhf, LithiumHydride) {
+  const ScfResult r = solve(Molecule::lih());
+  ASSERT_TRUE(r.converged);
+  // Literature RHF/STO-3G LiH equilibrium energy is about -7.86 Ha.
+  EXPECT_NEAR(r.energy, -7.86, 3e-2);
+}
+
+TEST(Rhf, DensityIdempotentAndTraced) {
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables ints = compute_integrals(mol, basis);
+  const ScfResult r = rhf(mol, basis, ints);
+  ASSERT_TRUE(r.converged);
+  // tr(D S) = n_electrons; (D S D)/2 = D (idempotency with factor 2).
+  const la::RMatrix ds = la::matmul(r.density, ints.overlap);
+  double tr = 0;
+  for (std::size_t i = 0; i < ds.rows(); ++i) tr += ds(i, i);
+  EXPECT_NEAR(tr, 10.0, 1e-8);
+  const la::RMatrix dsd = la::matmul(ds, r.density);
+  for (std::size_t i = 0; i < dsd.size(); ++i)
+    EXPECT_NEAR(dsd.data()[i] / 2.0, r.density.data()[i], 1e-6);
+}
+
+TEST(Rhf, DissociationRaisesEnergyAboveEquilibrium) {
+  const double e_eq = solve(Molecule::h2(1.4)).energy;
+  const double e_str = solve(Molecule::h2(3.5)).energy;
+  EXPECT_LT(e_eq, e_str);
+}
+
+TEST(Rhf, SixThirtyOneGLowersH2Energy) {
+  const double e_sto = solve(Molecule::h2(1.4), "sto-3g").energy;
+  const double e_631 = solve(Molecule::h2(1.4), "6-31g").energy;
+  EXPECT_LT(e_631, e_sto);  // bigger basis is variationally lower
+}
+
+TEST(Rhf, HydrogenChainScfConverges) {
+  const ScfResult r = solve(Molecule::hydrogen_chain(6, 1.8));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.energy, 0.0);
+  EXPECT_EQ(r.n_occupied, 3);
+}
+
+TEST(MoIntegrals, HfEnergyFromMoQuantities) {
+  // E_HF = E_core + 2 sum_i h_ii + sum_ij (2 (ii|jj) - (ij|ji)).
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables ints = compute_integrals(mol, basis);
+  const ScfResult r = rhf(mol, basis, ints);
+  const MoIntegrals mo =
+      transform_to_mo(ints, r.coefficients, r.nuclear_repulsion);
+  double e = mo.core_energy();
+  for (int i = 0; i < r.n_occupied; ++i) {
+    e += 2.0 * mo.h(std::size_t(i), std::size_t(i));
+    for (int j = 0; j < r.n_occupied; ++j)
+      e += 2.0 * mo.eri(std::size_t(i), std::size_t(i), std::size_t(j),
+                        std::size_t(j)) -
+           mo.eri(std::size_t(i), std::size_t(j), std::size_t(j),
+                  std::size_t(i));
+  }
+  EXPECT_NEAR(e, r.energy, 1e-8);
+}
+
+TEST(MoIntegrals, ActiveSpacePreservesHfEnergy) {
+  // Freezing orbitals and recomputing the HF energy in the active window
+  // must reproduce the full HF energy when all occupied orbitals that are
+  // excluded are frozen.
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables ints = compute_integrals(mol, basis);
+  const ScfResult r = rhf(mol, basis, ints);
+  const MoIntegrals mo =
+      transform_to_mo(ints, r.coefficients, r.nuclear_repulsion);
+  const MoIntegrals act = make_active_space(mo, 2, mo.n_orbitals() - 2);
+  double e = act.core_energy();
+  for (int i = 0; i < r.n_occupied - 2; ++i) {
+    e += 2.0 * act.h(std::size_t(i), std::size_t(i));
+    for (int j = 0; j < r.n_occupied - 2; ++j)
+      e += 2.0 * act.eri(std::size_t(i), std::size_t(i), std::size_t(j),
+                         std::size_t(j)) -
+           act.eri(std::size_t(i), std::size_t(j), std::size_t(j),
+                   std::size_t(i));
+  }
+  EXPECT_NEAR(e, r.energy, 1e-8);
+}
+
+TEST(SpinOrbitals, AntisymmetryProperties) {
+  const Molecule mol = Molecule::h2(1.4);
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables ints = compute_integrals(mol, basis);
+  const ScfResult r = rhf(mol, basis, ints);
+  const MoIntegrals mo =
+      transform_to_mo(ints, r.coefficients, r.nuclear_repulsion);
+  const SpinOrbitalIntegrals so = to_spin_orbitals(mo);
+  for (std::size_t p = 0; p < so.n_spin; ++p)
+    for (std::size_t q = 0; q < so.n_spin; ++q)
+      for (std::size_t rr = 0; rr < so.n_spin; ++rr)
+        for (std::size_t s = 0; s < so.n_spin; ++s) {
+          EXPECT_NEAR(so.v(p, q, rr, s), -so.v(q, p, rr, s), 1e-12);
+          EXPECT_NEAR(so.v(p, q, rr, s), -so.v(p, q, s, rr), 1e-12);
+        }
+}
+
+TEST(Lowdin, OrthogonalizerProperty) {
+  const Molecule mol = Molecule::h2o();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const IntegralTables ints = compute_integrals(mol, basis);
+  const la::RMatrix x = lowdin_orthogonalizer(ints.overlap);
+  const la::RMatrix xsx = la::matmul(la::matmul(x, ints.overlap, la::Op::kTrans), x);
+  for (std::size_t i = 0; i < xsx.rows(); ++i)
+    for (std::size_t j = 0; j < xsx.cols(); ++j)
+      EXPECT_NEAR(xsx(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace q2::chem

@@ -1,0 +1,110 @@
+// Tensor permutation/contraction tests, including agreement between the
+// fused path and the unfused reference implementation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/tensor.hpp"
+
+namespace q2::la {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.complex_normal();
+  return t;
+}
+
+TEST(Tensor, AtMultiIndex) {
+  Tensor t({2, 3, 4});
+  t.at({1, 2, 3}) = {5, 0};
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], cplx(5, 0));
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Rng rng(1);
+  const Tensor t = random_tensor({4, 6}, rng);
+  const Tensor r = t.reshaped({2, 2, 6});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], r[i]);
+  EXPECT_THROW(t.reshaped({5, 5}), Error);
+}
+
+TEST(Tensor, PermuteRoundTrip) {
+  Rng rng(2);
+  const Tensor t = random_tensor({3, 4, 5}, rng);
+  const Tensor p = t.permuted({2, 0, 1});
+  EXPECT_EQ(p.shape(), (std::vector<std::size_t>{5, 3, 4}));
+  const Tensor back = p.permuted({1, 2, 0});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], back[i]);
+}
+
+TEST(Tensor, PermuteElementwiseCheck) {
+  Rng rng(3);
+  const Tensor t = random_tensor({2, 3, 4}, rng);
+  const Tensor p = t.permuted({1, 2, 0});  // p[j,k,i] = t[i,j,k]
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_EQ(p.at({j, k, i}), t.at({i, j, k}));
+}
+
+TEST(Tensor, ContractMatrixProduct) {
+  Rng rng(4);
+  const Tensor a = random_tensor({5, 7}, rng);
+  const Tensor b = random_tensor({7, 3}, rng);
+  const Tensor c = contract(a, {1}, b, {0});
+  ASSERT_EQ(c.shape(), (std::vector<std::size_t>{5, 3}));
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      cplx s{};
+      for (std::size_t k = 0; k < 7; ++k) s += a.at({i, k}) * b.at({k, j});
+      EXPECT_LT(std::abs(c.at({i, j}) - s), 1e-12);
+    }
+}
+
+TEST(Tensor, ContractMultipleAxes) {
+  Rng rng(5);
+  const Tensor a = random_tensor({2, 3, 4}, rng);
+  const Tensor b = random_tensor({4, 3, 5}, rng);
+  // contract axes (1,2) of a with (1,0) of b -> shape (2, 5)
+  const Tensor c = contract(a, {1, 2}, b, {1, 0});
+  ASSERT_EQ(c.shape(), (std::vector<std::size_t>{2, 5}));
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      cplx s{};
+      for (std::size_t x = 0; x < 3; ++x)
+        for (std::size_t y = 0; y < 4; ++y)
+          s += a.at({i, x, y}) * b.at({y, x, j});
+      EXPECT_LT(std::abs(c.at({i, j}) - s), 1e-12);
+    }
+}
+
+TEST(Tensor, FusedMatchesReference) {
+  Rng rng(6);
+  const Tensor a = random_tensor({4, 5, 6}, rng);
+  const Tensor b = random_tensor({6, 5, 3}, rng);
+  const Tensor fast = contract(a, {1, 2}, b, {1, 0});
+  const Tensor slow = contract_reference(a, {1, 2}, b, {1, 0});
+  ASSERT_EQ(fast.shape(), slow.shape());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_LT(std::abs(fast[i] - slow[i]), 1e-10);
+}
+
+TEST(Tensor, FullContractionToScalar) {
+  Rng rng(7);
+  const Tensor a = random_tensor({3, 4}, rng);
+  const Tensor c = contract(a, {0, 1}, a, {0, 1});
+  ASSERT_EQ(c.size(), 1u);
+  cplx s{};
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * a[i];
+  EXPECT_LT(std::abs(c[0] - s), 1e-10);
+}
+
+TEST(Tensor, DimensionMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5});
+  EXPECT_THROW(contract(a, {1}, b, {0}), Error);
+  EXPECT_THROW(contract(a, {0, 1}, b, {0}), Error);
+  EXPECT_THROW(contract(a, {7}, b, {0}), Error);
+}
+
+}  // namespace
+}  // namespace q2::la
