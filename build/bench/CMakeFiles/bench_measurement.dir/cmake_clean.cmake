@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_measurement.dir/bench_measurement.cpp.o"
+  "CMakeFiles/bench_measurement.dir/bench_measurement.cpp.o.d"
+  "bench_measurement"
+  "bench_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

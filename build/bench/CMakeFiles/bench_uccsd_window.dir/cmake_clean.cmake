@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uccsd_window.dir/bench_uccsd_window.cpp.o"
+  "CMakeFiles/bench_uccsd_window.dir/bench_uccsd_window.cpp.o.d"
+  "bench_uccsd_window"
+  "bench_uccsd_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uccsd_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

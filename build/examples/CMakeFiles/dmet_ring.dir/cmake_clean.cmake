@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmet_ring.dir/dmet_ring.cpp.o"
+  "CMakeFiles/dmet_ring.dir/dmet_ring.cpp.o.d"
+  "dmet_ring"
+  "dmet_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmet_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

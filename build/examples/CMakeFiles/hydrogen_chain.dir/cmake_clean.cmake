@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydrogen_chain.dir/hydrogen_chain.cpp.o"
+  "CMakeFiles/hydrogen_chain.dir/hydrogen_chain.cpp.o.d"
+  "hydrogen_chain"
+  "hydrogen_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydrogen_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hydrogen_chain.
+# This may be replaced when dependencies are built.

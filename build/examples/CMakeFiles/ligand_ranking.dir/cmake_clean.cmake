@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ligand_ranking.dir/ligand_ranking.cpp.o"
+  "CMakeFiles/ligand_ranking.dir/ligand_ranking.cpp.o.d"
+  "ligand_ranking"
+  "ligand_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ligand_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/basis.cpp" "src/CMakeFiles/q2chem.dir/chem/basis.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/basis.cpp.o.d"
+  "/root/repo/src/chem/boys.cpp" "src/CMakeFiles/q2chem.dir/chem/boys.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/boys.cpp.o.d"
+  "/root/repo/src/chem/cc.cpp" "src/CMakeFiles/q2chem.dir/chem/cc.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/cc.cpp.o.d"
+  "/root/repo/src/chem/element.cpp" "src/CMakeFiles/q2chem.dir/chem/element.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/element.cpp.o.d"
+  "/root/repo/src/chem/fci.cpp" "src/CMakeFiles/q2chem.dir/chem/fci.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/fci.cpp.o.d"
+  "/root/repo/src/chem/hamiltonian.cpp" "src/CMakeFiles/q2chem.dir/chem/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/hamiltonian.cpp.o.d"
+  "/root/repo/src/chem/integrals.cpp" "src/CMakeFiles/q2chem.dir/chem/integrals.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/integrals.cpp.o.d"
+  "/root/repo/src/chem/mo.cpp" "src/CMakeFiles/q2chem.dir/chem/mo.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/mo.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/CMakeFiles/q2chem.dir/chem/molecule.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/molecule.cpp.o.d"
+  "/root/repo/src/chem/scf.cpp" "src/CMakeFiles/q2chem.dir/chem/scf.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/chem/scf.cpp.o.d"
+  "/root/repo/src/circuit/builder.cpp" "src/CMakeFiles/q2chem.dir/circuit/builder.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/circuit/builder.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/q2chem.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/fusion.cpp" "src/CMakeFiles/q2chem.dir/circuit/fusion.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/circuit/fusion.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/q2chem.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/routing.cpp" "src/CMakeFiles/q2chem.dir/circuit/routing.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/circuit/routing.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/q2chem.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/q2chem.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/common/rng.cpp.o.d"
+  "/root/repo/src/dmet/bath.cpp" "src/CMakeFiles/q2chem.dir/dmet/bath.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/dmet/bath.cpp.o.d"
+  "/root/repo/src/dmet/dmet_driver.cpp" "src/CMakeFiles/q2chem.dir/dmet/dmet_driver.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/dmet/dmet_driver.cpp.o.d"
+  "/root/repo/src/dmet/embedding.cpp" "src/CMakeFiles/q2chem.dir/dmet/embedding.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/dmet/embedding.cpp.o.d"
+  "/root/repo/src/dmet/fragment.cpp" "src/CMakeFiles/q2chem.dir/dmet/fragment.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/dmet/fragment.cpp.o.d"
+  "/root/repo/src/dmet/lowdin.cpp" "src/CMakeFiles/q2chem.dir/dmet/lowdin.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/dmet/lowdin.cpp.o.d"
+  "/root/repo/src/linalg/davidson.cpp" "src/CMakeFiles/q2chem.dir/linalg/davidson.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/davidson.cpp.o.d"
+  "/root/repo/src/linalg/eigh.cpp" "src/CMakeFiles/q2chem.dir/linalg/eigh.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/eigh.cpp.o.d"
+  "/root/repo/src/linalg/gemm.cpp" "src/CMakeFiles/q2chem.dir/linalg/gemm.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/gemm.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/q2chem.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/q2chem.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/CMakeFiles/q2chem.dir/linalg/svd.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/svd.cpp.o.d"
+  "/root/repo/src/linalg/tensor.cpp" "src/CMakeFiles/q2chem.dir/linalg/tensor.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/linalg/tensor.cpp.o.d"
+  "/root/repo/src/parallel/comm.cpp" "src/CMakeFiles/q2chem.dir/parallel/comm.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/parallel/comm.cpp.o.d"
+  "/root/repo/src/parallel/scheduler.cpp" "src/CMakeFiles/q2chem.dir/parallel/scheduler.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/parallel/scheduler.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/q2chem.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/pauli/jordan_wigner.cpp" "src/CMakeFiles/q2chem.dir/pauli/jordan_wigner.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/pauli/jordan_wigner.cpp.o.d"
+  "/root/repo/src/pauli/pauli_string.cpp" "src/CMakeFiles/q2chem.dir/pauli/pauli_string.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/pauli/pauli_string.cpp.o.d"
+  "/root/repo/src/pauli/qubit_operator.cpp" "src/CMakeFiles/q2chem.dir/pauli/qubit_operator.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/pauli/qubit_operator.cpp.o.d"
+  "/root/repo/src/sim/densitymatrix.cpp" "src/CMakeFiles/q2chem.dir/sim/densitymatrix.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/sim/densitymatrix.cpp.o.d"
+  "/root/repo/src/sim/expectation.cpp" "src/CMakeFiles/q2chem.dir/sim/expectation.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/sim/expectation.cpp.o.d"
+  "/root/repo/src/sim/hadamard_test.cpp" "src/CMakeFiles/q2chem.dir/sim/hadamard_test.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/sim/hadamard_test.cpp.o.d"
+  "/root/repo/src/sim/mps.cpp" "src/CMakeFiles/q2chem.dir/sim/mps.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/sim/mps.cpp.o.d"
+  "/root/repo/src/sim/reference_mps.cpp" "src/CMakeFiles/q2chem.dir/sim/reference_mps.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/sim/reference_mps.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/q2chem.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/sim/statevector.cpp.o.d"
+  "/root/repo/src/swsim/cpe_cluster.cpp" "src/CMakeFiles/q2chem.dir/swsim/cpe_cluster.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/swsim/cpe_cluster.cpp.o.d"
+  "/root/repo/src/swsim/kernels.cpp" "src/CMakeFiles/q2chem.dir/swsim/kernels.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/swsim/kernels.cpp.o.d"
+  "/root/repo/src/swsim/machine_model.cpp" "src/CMakeFiles/q2chem.dir/swsim/machine_model.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/swsim/machine_model.cpp.o.d"
+  "/root/repo/src/swsim/spec.cpp" "src/CMakeFiles/q2chem.dir/swsim/spec.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/swsim/spec.cpp.o.d"
+  "/root/repo/src/vqe/energy.cpp" "src/CMakeFiles/q2chem.dir/vqe/energy.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/vqe/energy.cpp.o.d"
+  "/root/repo/src/vqe/optimizer.cpp" "src/CMakeFiles/q2chem.dir/vqe/optimizer.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/vqe/optimizer.cpp.o.d"
+  "/root/repo/src/vqe/uccsd.cpp" "src/CMakeFiles/q2chem.dir/vqe/uccsd.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/vqe/uccsd.cpp.o.d"
+  "/root/repo/src/vqe/vqe_driver.cpp" "src/CMakeFiles/q2chem.dir/vqe/vqe_driver.cpp.o" "gcc" "src/CMakeFiles/q2chem.dir/vqe/vqe_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

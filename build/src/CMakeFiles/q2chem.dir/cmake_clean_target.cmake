@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libq2chem.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boys_integrals.dir/test_boys_integrals.cpp.o"
+  "CMakeFiles/test_boys_integrals.dir/test_boys_integrals.cpp.o.d"
+  "test_boys_integrals"
+  "test_boys_integrals.pdb"
+  "test_boys_integrals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boys_integrals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_densitymatrix.dir/test_densitymatrix.cpp.o"
+  "CMakeFiles/test_densitymatrix.dir/test_densitymatrix.cpp.o.d"
+  "test_densitymatrix"
+  "test_densitymatrix.pdb"
+  "test_densitymatrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_densitymatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

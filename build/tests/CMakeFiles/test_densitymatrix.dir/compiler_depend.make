@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_densitymatrix.
+# This may be replaced when dependencies are built.

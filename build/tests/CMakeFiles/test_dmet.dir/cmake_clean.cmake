@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmet.dir/test_dmet.cpp.o"
+  "CMakeFiles/test_dmet.dir/test_dmet.cpp.o.d"
+  "test_dmet"
+  "test_dmet.pdb"
+  "test_dmet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

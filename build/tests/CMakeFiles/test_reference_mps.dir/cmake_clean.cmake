@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_mps.dir/test_reference_mps.cpp.o"
+  "CMakeFiles/test_reference_mps.dir/test_reference_mps.cpp.o.d"
+  "test_reference_mps"
+  "test_reference_mps.pdb"
+  "test_reference_mps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

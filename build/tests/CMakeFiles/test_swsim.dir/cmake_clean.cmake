@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swsim.dir/test_swsim.cpp.o"
+  "CMakeFiles/test_swsim.dir/test_swsim.cpp.o.d"
+  "test_swsim"
+  "test_swsim.pdb"
+  "test_swsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_pauli[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_statevector[1]_include.cmake")
+include("/root/repo/build/tests/test_densitymatrix[1]_include.cmake")
+include("/root/repo/build/tests/test_mps[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_mps[1]_include.cmake")
+include("/root/repo/build/tests/test_boys_integrals[1]_include.cmake")
+include("/root/repo/build/tests/test_scf[1]_include.cmake")
+include("/root/repo/build/tests/test_fci[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_hamiltonian[1]_include.cmake")
+include("/root/repo/build/tests/test_uccsd[1]_include.cmake")
+include("/root/repo/build/tests/test_vqe[1]_include.cmake")
+include("/root/repo/build/tests/test_dmet[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_swsim[1]_include.cmake")
+include("/root/repo/build/tests/test_expectation[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
