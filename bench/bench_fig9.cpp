@@ -12,8 +12,10 @@
 #include "vqe/energy.hpp"
 #include "vqe/uccsd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace q2;
+  bench::init(argc, argv);
+  bench::BenchReport report("fig9");
   bench::header("Fig. 9: store-all vs memory-efficient circuit storage");
   bench::row({"system", "circuits", "mem ratio", "manage ratio",
               "exec speedup"});
@@ -95,6 +97,8 @@ int main() {
                 bench::fmt(mem_ratio, 0) + "x",
                 bench::fmt(manage_all / std::max(manage_eff, 1e-9), 0) + "x",
                 bench::fmt(all_s / eff_s, 2) + "x"});
+    report.set(std::string(c.name) + "_mem_ratio", mem_ratio);
+    report.set(std::string(c.name) + "_exec_speedup", all_s / eff_s);
     (void)g1;
     (void)g2;
   }

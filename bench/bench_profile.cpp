@@ -12,8 +12,10 @@
 #include "sim/mps.hpp"
 #include "vqe/uccsd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace q2;
+  bench::init(argc, argv);
+  bench::BenchReport report("profile");
   Rng rng(3);
 
   bench::header("IV-B: MPS hotspot split (contraction vs SVD)");
@@ -40,6 +42,11 @@ int main() {
                 bench::fmt(100 * p.contraction_seconds / total, 1),
                 bench::fmt(100 * p.svd_seconds / total, 1),
                 bench::fmt(100 * (total - p.contraction_seconds - p.svd_seconds) / total, 1)});
+    if (atoms == 64) {
+      report.set("hotspot_qubits", routed.n_qubits());
+      report.set("contraction_share", p.contraction_seconds / total);
+      report.set("svd_share", p.svd_seconds / total);
+    }
   }
   std::printf(
       "Paper: ~15%% contraction / ~82%% SVD for 33..129 qubits. The SVD share"
@@ -63,6 +70,7 @@ int main() {
     const double slow = t2.seconds();
     bench::row({std::to_string(n), bench::fmte(fast), bench::fmte(slow),
                 bench::fmt(slow / fast, 2) + "x"});
+    if (n == 256u) report.set("gemm_speedup_256", slow / fast);
     (void)c1;
   }
 

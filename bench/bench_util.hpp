@@ -1,17 +1,72 @@
 // Shared helpers for the figure-regeneration benches: chemistry pipeline
-// shortcuts and aligned table printing.
+// shortcuts, aligned table printing, telemetry flag plumbing, and the
+// BENCH_<name>.json result writer that feeds the perf-trajectory file set.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
 #include "chem/scf.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace q2::bench {
+
+/// Call first thing in main(): consumes the shared telemetry flags
+/// (--trace= / --report= / --metrics=, or the Q2_* environment variables) so
+/// every bench can emit a Chrome trace, a JSONL run report, and a metrics
+/// dump without per-binary plumbing.
+inline void init(int& argc, char** argv) {
+  obs::configure_from_args(argc, argv);
+}
+
+/// Collects one benchmark's headline results and writes them to
+/// BENCH_<name>.json in the working directory: benchmark name, total wall
+/// time, caller-set key figures, and the key telemetry counters at the time
+/// of write(). The destructor writes if the caller didn't.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() {
+    if (!written_) write();
+  }
+
+  void set(const std::string& key, obs::JsonValue value) {
+    fields_.emplace_back(key, std::move(value));
+  }
+
+  bool write() {
+    written_ = true;
+    std::vector<obs::JsonField> counters;
+    for (const auto& [cname, v] : obs::Registry::global().snapshot().counters)
+      counters.emplace_back(cname, v);
+    std::vector<obs::JsonField> all;
+    all.emplace_back("name", name_);
+    all.emplace_back("wall_seconds", timer_.seconds());
+    all.insert(all.end(), fields_.begin(), fields_.end());
+    all.emplace_back("counters",
+                     obs::JsonValue::raw(obs::json_object(counters)));
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string json = obs::json_object(all);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::string name_;
+  Timer timer_;
+  std::vector<obs::JsonField> fields_;
+  bool written_ = false;
+};
 
 struct SolvedMolecule {
   chem::Molecule molecule;

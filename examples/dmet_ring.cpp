@@ -3,15 +3,18 @@
 // per-fragment VQE solves, chemical-potential check, energy assembly.
 //
 //   ./dmet_ring [n_atoms] [bond_bohr] [--fci]
+//               [--trace=FILE] [--report=FILE] [--metrics=FILE]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "chem/fci.hpp"
 #include "dmet/dmet_driver.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace q2;
+  obs::configure_from_args(argc, argv);
   int n = 6;
   double bond = 1.8;
   bool use_fci_solver = false;

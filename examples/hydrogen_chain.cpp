@@ -4,6 +4,7 @@
 // path (Pauli circuits LPT-balanced over simulated MPI ranks).
 //
 //   ./hydrogen_chain [n_atoms] [spacing_bohr]
+//                    [--trace=FILE] [--report=FILE] [--metrics=FILE]
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,12 +12,14 @@
 #include "chem/hamiltonian.hpp"
 #include "chem/scf.hpp"
 #include "circuit/routing.hpp"
+#include "obs/obs.hpp"
 #include "parallel/comm.hpp"
 #include "sim/mps.hpp"
 #include "vqe/vqe_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace q2;
+  obs::configure_from_args(argc, argv);
   const int n = argc > 1 ? std::atoi(argv[1]) : 4;
   const double spacing = argc > 2 ? std::atof(argv[2]) : 1.8;
   if (n % 2 != 0 || n < 2) {

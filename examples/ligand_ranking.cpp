@@ -5,12 +5,13 @@
 // bind He, H2 and LiH to a water "pocket"; the expected ranking is the polar
 // LiH first, H2 second, He last.
 //
-//   ./ligand_ranking [--vqe]
+//   ./ligand_ranking [--vqe] [--trace=FILE] [--report=FILE] [--metrics=FILE]
 #include <cstdio>
 #include <cstring>
 
 #include "chem/fci.hpp"
 #include "dmet/dmet_driver.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -37,6 +38,7 @@ double dmet_energy(const chem::Molecule& mol,
 }  // namespace
 
 int main(int argc, char** argv) {
+  q2::obs::configure_from_args(argc, argv);
   bool use_vqe = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--vqe") == 0) use_vqe = true;

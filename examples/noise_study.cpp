@@ -4,18 +4,20 @@
 // H2 noiselessly, then re-evaluates the optimal circuit under increasing
 // depolarizing noise after every two-qubit gate.
 //
-//   ./noise_study
+//   ./noise_study [--trace=FILE] [--report=FILE] [--metrics=FILE]
 #include <cstdio>
 
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
 #include "chem/scf.hpp"
 #include "circuit/routing.hpp"
+#include "obs/obs.hpp"
 #include "sim/densitymatrix.hpp"
 #include "vqe/vqe_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace q2;
+  obs::configure_from_args(argc, argv);
   const chem::Molecule mol = chem::Molecule::h2(1.4);
   const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
   const chem::IntegralTables ints = chem::compute_integrals(mol, basis);

@@ -2,17 +2,27 @@
 // integrals -> RHF -> qubit Hamiltonian (the 15 Pauli strings of Fig. 5) ->
 // UCCSD MPS-VQE -> comparison against FCI.
 //
-//   ./quickstart [bond_length_bohr]
+//   ./quickstart [--trace=FILE] [--report=FILE] [--metrics=FILE]
+//                [bond_length_bohr]
+//
+// --trace= writes a Chrome trace (open in chrome://tracing or Perfetto),
+// --report= a JSONL run report with per-iteration VQE energies, and
+// --metrics= a JSON dump of the global counters. The Q2_TRACE / Q2_REPORT /
+// Q2_METRICS environment variables do the same.
 #include <cstdio>
 #include <cstdlib>
 
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
 #include "chem/scf.hpp"
+#include "common/log.hpp"
+#include "obs/obs.hpp"
 #include "vqe/vqe_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace q2;
+  log::set_level(log::Level::kInfo);  // show where telemetry files land
+  obs::configure_from_args(argc, argv);
   const double r = argc > 1 ? std::atof(argv[1]) : 1.4;
 
   std::printf("Q2Chemistry quickstart: H2 at R = %.3f bohr (STO-3G)\n\n", r);

@@ -1,21 +1,56 @@
 #include "common/log.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace q2::log {
 namespace {
-Level g_level = Level::kSilent;
+
+std::atomic<Level> g_level{Level::kSilent};
+std::atomic<bool> g_timestamps{false};
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
 }
 
-void set_level(Level level) { g_level = level; }
-Level level() { return g_level; }
-
-void info(const std::string& msg) {
-  if (g_level >= Level::kInfo) std::fprintf(stderr, "[q2] %s\n", msg.c_str());
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
 }
 
-void debug(const std::string& msg) {
-  if (g_level >= Level::kDebug) std::fprintf(stderr, "[q2:dbg] %s\n", msg.c_str());
+void emit(Level severity, const char* tag, const std::string& msg) {
+  if (g_level.load(std::memory_order_relaxed) < severity) return;
+  char stamp[32] = "";
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - process_start())
+                         .count();
+    std::snprintf(stamp, sizeof(stamp), " +%.3fs", t);
+  }
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fprintf(stderr, "[q2%s%s] %s\n", tag, stamp, msg.c_str());
 }
+
+}  // namespace
+
+void set_level(Level level) {
+  process_start();  // pin the timestamp origin early
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_timestamps(bool enabled) {
+  process_start();
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+void error(const std::string& msg) { emit(Level::kError, ":error", msg); }
+void warn(const std::string& msg) { emit(Level::kWarn, ":warn", msg); }
+void info(const std::string& msg) { emit(Level::kInfo, "", msg); }
+void debug(const std::string& msg) { emit(Level::kDebug, ":dbg", msg); }
 
 }  // namespace q2::log

@@ -1,16 +1,25 @@
 // Minimal leveled logger. Quiet by default so tests and benches stay readable;
-// drivers raise the level when the user asks for progress output.
+// drivers raise the level when the user asks for progress output. Emission is
+// line-atomic (one mutex-guarded write per message), so interleaved output
+// from thread-pool workers or simulated MPI ranks never shears mid-line.
 #pragma once
 
 #include <string>
 
 namespace q2::log {
 
-enum class Level { kSilent = 0, kInfo = 1, kDebug = 2 };
+/// Severity grows downward: raising the level shows everything above it.
+enum class Level { kSilent = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
 
 void set_level(Level level);
 Level level();
 
+/// When enabled, every line is prefixed with seconds since process start
+/// ("[q2 +12.345s] ..."). Off by default.
+void set_timestamps(bool enabled);
+
+void error(const std::string& msg);
+void warn(const std::string& msg);
 void info(const std::string& msg);
 void debug(const std::string& msg);
 

@@ -4,9 +4,21 @@
 
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/mps.hpp"
 
 namespace q2::dmet {
+namespace {
+
+obs::Counter& fragment_solve_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dmet.fragment_solves");
+  return c;
+}
+
+}  // namespace
 
 FragmentSolver make_fci_solver() {
   return [](const EmbeddingProblem& prob, const chem::MoIntegrals& solver_mo) {
@@ -112,10 +124,13 @@ Evaluation evaluate(const Prepared& prep, double mu,
                     const FragmentSolver& solver,
                     const std::function<bool(std::size_t)>& mine,
                     par::Comm* comm, bool equivalent_fragments) {
+  OBS_SPAN("dmet/evaluate");
   Evaluation ev;
   ev.fragment_energies.assign(prep.problems.size(), 0.0);
   ev.fragment_electrons.assign(prep.problems.size(), 0.0);
   if (equivalent_fragments && !prep.problems.empty()) {
+    OBS_SPAN("dmet/fragment_solve");
+    fragment_solve_counter().add();
     const EmbeddingProblem& prob = prep.problems[0];
     const chem::MoIntegrals solver_mo =
         with_chemical_potential(prob.solver, prob.fragment_orbitals, mu);
@@ -130,6 +145,8 @@ Evaluation evaluate(const Prepared& prep, double mu,
   }
   for (std::size_t f = 0; f < prep.problems.size(); ++f) {
     if (!mine(f)) continue;
+    OBS_SPAN("dmet/fragment_solve");
+    fragment_solve_counter().add();
     const EmbeddingProblem& prob = prep.problems[f];
     const chem::MoIntegrals solver_mo =
         with_chemical_potential(prob.solver, prob.fragment_orbitals, mu);
@@ -155,14 +172,36 @@ DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
                  const FragmentSolver& solver,
                  const std::function<bool(std::size_t)>& mine,
                  par::Comm* comm) {
+  OBS_SPAN("dmet/drive");
   const Prepared prep = prepare(molecule, options);
   const double target = double(molecule.n_electrons());
+
+  // Only one rank of a distributed run reports (all ranks see the same
+  // reduced values, so any single rank's records are complete).
+  obs::RunReport& sink = obs::RunReport::global();
+  const bool reporting = sink.is_open() && (!comm || comm->rank() == 0);
+  int cycle = 0;
+  auto eval_at = [&](double mu_value) {
+    Evaluation ev = evaluate(prep, mu_value, solver, mine, comm,
+                             options.equivalent_fragments);
+    if (reporting)
+      sink.record("dmet_cycle",
+                  {{"cycle", cycle},
+                   {"mu", mu_value},
+                   {"energy", ev.energy},
+                   {"electrons", ev.electrons},
+                   {"residual", ev.electrons - target},
+                   {"fragment_energies", ev.fragment_energies},
+                   {"fragment_electrons", ev.fragment_electrons}});
+    ++cycle;
+    return ev;
+  };
 
   DmetResult result;
   result.hf_energy = prep.hf_energy;
 
   double mu = 0.0;
-  Evaluation ev = evaluate(prep, mu, solver, mine, comm, options.equivalent_fragments);
+  Evaluation ev = eval_at(mu);
   result.mu_iterations = 1;
 
   if (options.fit_chemical_potential &&
@@ -170,25 +209,25 @@ DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
       prep.problems.size() > 1) {
     // N(mu) is monotonically increasing; bracket the root, then bisect.
     double lo = -options.mu_bracket, hi = options.mu_bracket;
-    Evaluation ev_lo = evaluate(prep, lo, solver, mine, comm, options.equivalent_fragments);
-    Evaluation ev_hi = evaluate(prep, hi, solver, mine, comm, options.equivalent_fragments);
+    Evaluation ev_lo = eval_at(lo);
+    Evaluation ev_hi = eval_at(hi);
     result.mu_iterations += 2;
     int expansions = 0;
     while (ev_lo.electrons > target && expansions < 6) {
       lo *= 2.0;
-      ev_lo = evaluate(prep, lo, solver, mine, comm, options.equivalent_fragments);
+      ev_lo = eval_at(lo);
       ++result.mu_iterations;
       ++expansions;
     }
     while (ev_hi.electrons < target && expansions < 12) {
       hi *= 2.0;
-      ev_hi = evaluate(prep, hi, solver, mine, comm, options.equivalent_fragments);
+      ev_hi = eval_at(hi);
       ++result.mu_iterations;
       ++expansions;
     }
     for (int it = 0; it < options.max_mu_iterations; ++it) {
       mu = 0.5 * (lo + hi);
-      ev = evaluate(prep, mu, solver, mine, comm, options.equivalent_fragments);
+      ev = eval_at(mu);
       ++result.mu_iterations;
       if (std::abs(ev.electrons - target) <= options.electron_tolerance) break;
       if (ev.electrons < target)
@@ -206,6 +245,13 @@ DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
   result.fragment_energies = ev.fragment_energies;
   result.fragment_electrons = ev.fragment_electrons;
   result.energy = ev.energy + molecule.nuclear_repulsion();
+  if (reporting)
+    sink.record("dmet_result", {{"converged", result.converged},
+                                {"energy", result.energy},
+                                {"hf_energy", result.hf_energy},
+                                {"mu", result.mu},
+                                {"mu_iterations", result.mu_iterations},
+                                {"total_electrons", result.total_electrons}});
   return result;
 }
 

@@ -1,0 +1,69 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace q2::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips every double; try the shorter %.15g first.
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+JsonValue::JsonValue(const std::vector<double>& a) {
+  repr_ = "[";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i) repr_ += ',';
+    repr_ += json_number(a[i]);
+  }
+  repr_ += ']';
+}
+
+JsonValue JsonValue::raw(std::string json) {
+  JsonValue v;
+  v.repr_ = std::move(json);
+  return v;
+}
+
+std::string json_object(const std::vector<JsonField>& fields) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    out += '"' + json_escape(fields[i].first) + "\":" + fields[i].second.str();
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace q2::obs

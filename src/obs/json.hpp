@@ -1,0 +1,52 @@
+// Minimal JSON emission helpers shared by the telemetry sinks (metrics dump,
+// Chrome trace export, JSONL run reports). Emission only — parsing lives with
+// the consumers (tests parse trace output back to validate it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace q2::obs {
+
+/// Returns `s` with JSON string escapes applied (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+/// Shortest round-trippable decimal for a double; NaN/Inf become null
+/// (JSON has no encoding for them).
+std::string json_number(double v);
+
+/// One already-serialized JSON value. Implicit constructors cover the types
+/// telemetry actually records; anything else can be passed pre-serialized via
+/// JsonValue::raw().
+class JsonValue {
+ public:
+  JsonValue(std::nullptr_t) : repr_("null") {}
+  JsonValue(bool b) : repr_(b ? "true" : "false") {}
+  JsonValue(const char* s) : repr_('"' + json_escape(s) + '"') {}
+  JsonValue(const std::string& s) : repr_('"' + json_escape(s) + '"') {}
+  JsonValue(const std::vector<double>& a);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonValue(T v) : repr_(std::to_string(v)) {}
+  template <typename T, std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  JsonValue(T v) : repr_(json_number(double(v))) {}
+
+  static JsonValue raw(std::string json);
+
+  const std::string& str() const { return repr_; }
+
+ private:
+  JsonValue() = default;
+  std::string repr_;
+};
+
+using JsonField = std::pair<std::string, JsonValue>;
+
+/// `{"k1":v1,"k2":v2,...}` in the given order.
+std::string json_object(const std::vector<JsonField>& fields);
+
+}  // namespace q2::obs

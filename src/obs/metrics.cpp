@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+
+namespace q2::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()),
+          "Histogram: bucket bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double x) {
+  // Edges are inclusive upper bounds: x lands in the first bucket whose edge
+  // is >= x (lower_bound), matching the Prometheus `le` convention.
+  const std::size_t i =
+      std::size_t(std::lower_bound(bounds_.begin(), bounds_.end(), x) -
+                  bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + x, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_time_bounds() {
+  // 1 µs .. ~30 s, two buckets per decade (1, 3.16, 10, ...); larger values
+  // land in the overflow bucket.
+  std::vector<double> b;
+  double edge = 1e-6;
+  for (int i = 0; i < 16; ++i) {
+    b.push_back(edge);
+    edge *= 3.1622776601683795;  // sqrt(10)
+  }
+  return b;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+std::string Registry::text() const {
+  const MetricsSnapshot s = snapshot();
+  std::string out;
+  for (const auto& [name, v] : s.counters)
+    out += "counter   " + name + " = " + std::to_string(v) + "\n";
+  for (const auto& [name, v] : s.gauges)
+    out += "gauge     " + name + " = " + json_number(v) + "\n";
+  for (const auto& [name, h] : s.histograms) {
+    out += "histogram " + name + " count=" + std::to_string(h.count) +
+           " sum=" + json_number(h.sum);
+    if (h.count > 0) out += " mean=" + json_number(h.sum / double(h.count));
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  const MetricsSnapshot s = snapshot();
+  std::vector<JsonField> counters, gauges, histograms;
+  for (const auto& [name, v] : s.counters) counters.emplace_back(name, v);
+  for (const auto& [name, v] : s.gauges) gauges.emplace_back(name, v);
+  for (const auto& [name, h] : s.histograms) {
+    std::vector<double> counts(h.counts.begin(), h.counts.end());
+    histograms.emplace_back(
+        name, JsonValue::raw(json_object({{"count", h.count},
+                                          {"sum", h.sum},
+                                          {"bounds", h.bounds},
+                                          {"counts", counts}})));
+  }
+  return json_object(
+      {{"counters", JsonValue::raw(json_object(counters))},
+       {"gauges", JsonValue::raw(json_object(gauges))},
+       {"histograms", JsonValue::raw(json_object(histograms))}});
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace q2::obs

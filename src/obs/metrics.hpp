@@ -1,0 +1,115 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms. Designed for hot paths — instruments are lock-free atomics, and
+// callers cache the reference from the (mutex-guarded) name lookup once:
+//
+//   static obs::Counter& gates = obs::Registry::global().counter("mps.gates");
+//   gates.add();
+//
+// Instrument objects live for the lifetime of the process; reset() zeroes
+// values but never invalidates references. Snapshots are pull-style and can be
+// dumped as aligned text or JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace q2::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (loads, sizes, efficiencies).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges; one
+/// extra overflow bucket catches everything above the last edge. Also tracks
+/// the exact sum and count, so mean = sum()/count().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Log-spaced edges suited to seconds-valued timings: 1 µs .. 100 s.
+std::vector<double> default_time_bounds();
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every instrumented module reports into.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first registration only; later lookups reuse the
+  /// existing instrument.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = default_time_bounds());
+
+  MetricsSnapshot snapshot() const;
+  /// Human-readable dump, one instrument per line.
+  std::string text() const;
+  /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+  std::string json() const;
+
+  /// Zeroes every instrument. References handed out earlier stay valid —
+  /// instruments are never deallocated.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace q2::obs

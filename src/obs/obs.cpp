@@ -1,0 +1,116 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/log.hpp"
+
+namespace q2::obs {
+namespace {
+
+struct Config {
+  std::mutex mutex;
+  std::string trace_path;
+  std::string metrics_path;
+  bool atexit_registered = false;
+};
+
+Config& config() {
+  static Config* c = new Config;  // leaked so atexit(shutdown) is always safe
+  return *c;
+}
+
+// Returns the value if `arg` is --<name>=<value>, else nullptr.
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, "--", 2) != 0) return nullptr;
+  if (std::strncmp(arg + 2, name, n) != 0) return nullptr;
+  if (arg[2 + n] != '=') return nullptr;
+  return arg + 2 + n + 1;
+}
+
+void apply(const char* trace, const char* report, const char* metrics) {
+  Config& c = config();
+  bool need_atexit = false;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (trace && *trace) {
+      c.trace_path = trace;
+      set_tracing(true);
+    }
+    if (metrics && *metrics) c.metrics_path = metrics;
+    if (report && *report) {
+      if (!RunReport::global().open(report))
+        log::warn(std::string("obs: cannot open report file ") + report);
+    }
+    if (!c.atexit_registered &&
+        (!c.trace_path.empty() || !c.metrics_path.empty() ||
+         RunReport::global().is_open())) {
+      c.atexit_registered = true;
+      need_atexit = true;
+    }
+  }
+  if (need_atexit) std::atexit(shutdown);
+}
+
+}  // namespace
+
+void configure_from_env() {
+  apply(std::getenv("Q2_TRACE"), std::getenv("Q2_REPORT"),
+        std::getenv("Q2_METRICS"));
+}
+
+void configure_from_args(int& argc, char** argv) {
+  const char* trace = nullptr;
+  const char* report = nullptr;
+  const char* metrics = nullptr;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "trace")) {
+      trace = v;
+    } else if (const char* v = flag_value(argv[i], "report")) {
+      report = v;
+    } else if (const char* v = flag_value(argv[i], "metrics")) {
+      metrics = v;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  configure_from_env();  // env first, flags override
+  apply(trace, report, metrics);
+}
+
+void shutdown() {
+  Config& c = config();
+  std::string trace_path, metrics_path;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    trace_path.swap(c.trace_path);
+    metrics_path.swap(c.metrics_path);
+  }
+  if (!trace_path.empty()) {
+    set_tracing(false);
+    if (write_trace_file(trace_path))
+      log::info("obs: wrote " + std::to_string(trace_event_count()) +
+                " trace events to " + trace_path);
+    else
+      log::warn("obs: cannot write trace file " + trace_path);
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f) {
+      const std::string json = Registry::global().json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      log::info("obs: wrote metrics to " + metrics_path);
+    } else {
+      log::warn("obs: cannot write metrics file " + metrics_path);
+    }
+  }
+  RunReport::global().close();
+}
+
+}  // namespace q2::obs

@@ -1,0 +1,32 @@
+// Umbrella header and process-level wiring for the telemetry layer
+// (metrics + tracing + run reports). Examples and benches call
+// configure_from_args() first thing in main():
+//
+//   ./quickstart --trace=run.trace.json --report=run.jsonl --metrics=m.json
+//
+// Recognized flags are stripped from argv so positional arguments keep
+// working. The same switches are honoured as environment variables
+// (Q2_TRACE / Q2_REPORT / Q2_METRICS, each naming an output file) so
+// instrumented binaries need no flag plumbing at all. Outputs are written by
+// shutdown(), which configure_from_args() registers via atexit.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace q2::obs {
+
+/// Consumes --trace=FILE / --report=FILE / --metrics=FILE (and the matching
+/// Q2_* environment variables), enables the requested sinks, and registers
+/// shutdown() to run at exit.
+void configure_from_args(int& argc, char** argv);
+
+/// Environment-only variant for binaries that do their own flag parsing.
+void configure_from_env();
+
+/// Flushes configured sinks: writes the Chrome trace and the metrics dump,
+/// closes the run report, and disables tracing. Idempotent.
+void shutdown();
+
+}  // namespace q2::obs

@@ -1,0 +1,40 @@
+#include "obs/report.hpp"
+
+namespace q2::obs {
+
+RunReport& RunReport::global() {
+  static RunReport* r = new RunReport;  // leaked: see Registry::global()
+  return *r;
+}
+
+bool RunReport::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "w");
+  open_.store(file_ != nullptr, std::memory_order_relaxed);
+  return file_ != nullptr;
+}
+
+void RunReport::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.store(false, std::memory_order_relaxed);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void RunReport::record(const char* kind, const std::vector<JsonField>& fields) {
+  if (!is_open()) return;
+  std::vector<JsonField> all;
+  all.reserve(fields.size() + 1);
+  all.emplace_back("kind", kind);
+  all.insert(all.end(), fields.begin(), fields.end());
+  const std::string line = json_object(all) + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!file_) return;  // closed while we were formatting
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace q2::obs

@@ -1,0 +1,41 @@
+// JSONL run reports: one machine-readable line per event, e.g.
+//
+//   {"kind":"vqe_iteration","iteration":3,"energy":-1.137,...}
+//
+// Drivers call RunReport::global().record(...) unconditionally; when no sink
+// is open a record costs one relaxed atomic load. Lines are written atomically
+// (one mutex-guarded fwrite + flush), so concurrent ranks interleave cleanly.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace q2::obs {
+
+class RunReport {
+ public:
+  /// The process-wide report sink drivers write into.
+  static RunReport& global();
+
+  /// Opens (truncates) `path`; returns false on I/O failure.
+  bool open(const std::string& path);
+  void close();
+  bool is_open() const { return open_.load(std::memory_order_relaxed); }
+
+  /// Writes `{"kind":<kind>,...fields}` as one line; no-op when closed.
+  void record(const char* kind, const std::vector<JsonField>& fields);
+
+  ~RunReport() { close(); }
+
+ private:
+  std::mutex mutex_;
+  std::atomic<bool> open_{false};
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace q2::obs

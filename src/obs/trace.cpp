@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace q2::obs {
+namespace detail {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+struct TraceEvent {
+  const char* name;
+  double ts_us;
+  double dur_us;
+};
+
+// Buffers are owned by a global list (not the thread) so events survive
+// thread exit; the per-buffer mutex is uncontended except during export.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid;
+};
+
+struct BufferList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferList& buffer_list() {
+  static BufferList* list = new BufferList;  // leaked: see Registry::global()
+  return *list;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferList& list = buffer_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    b->tid = list.next_tid++;
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - trace_epoch())
+      .count();
+}
+
+void record_span(const char* name, double start_us, double end_us) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back({name, start_us, end_us - start_us});
+}
+
+}  // namespace detail
+
+void set_tracing(bool enabled) {
+  detail::trace_epoch();  // pin the epoch before the first span
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  detail::BufferList& list = detail::buffer_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (auto& b : list.buffers) {
+    std::lock_guard<std::mutex> buf_lock(b->mutex);
+    b->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  detail::BufferList& list = detail::buffer_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  std::size_t n = 0;
+  for (auto& b : list.buffers) {
+    std::lock_guard<std::mutex> buf_lock(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::string trace_json() {
+  detail::BufferList& list = detail::buffer_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (auto& b : list.buffers) {
+    std::lock_guard<std::mutex> buf_lock(b->mutex);
+    for (const detail::TraceEvent& e : b->events) {
+      if (!first) out += ',';
+      first = false;
+      out += json_object({{"name", e.name},
+                          {"cat", "q2"},
+                          {"ph", "X"},
+                          {"ts", e.ts_us},
+                          {"dur", e.dur_us},
+                          {"pid", 1},
+                          {"tid", b->tid}});
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool write_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace q2::obs

@@ -1,0 +1,75 @@
+// Scoped-span tracing with Chrome trace_event export. Usage:
+//
+//   void apply_gate() {
+//     OBS_SPAN("mps/two_qubit_gate");
+//     { OBS_SPAN("mps/svd"); svd(...); }   // nested span
+//   }
+//
+// Spans are recorded into per-thread buffers (one uncontended mutex hop per
+// span) and exported as Chrome "complete" events (ph:"X"), so a dump opens
+// directly in chrome://tracing or https://ui.perfetto.dev. Nesting is implied
+// by ts/dur containment per thread lane, exactly how Chrome renders it.
+//
+// Cost model: tracing is off by default and OBS_SPAN then costs one relaxed
+// atomic load + branch. Defining Q2_OBS_DISABLE_TRACING compiles the macro
+// out entirely. Span names must have static storage duration (string
+// literals) — only the pointer is stored.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace q2::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+/// Microseconds since the process trace epoch (first telemetry use).
+double trace_now_us();
+void record_span(const char* name, double start_us, double end_us);
+}  // namespace detail
+
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void set_tracing(bool enabled);
+
+/// Discards every recorded span.
+void clear_trace();
+/// Number of spans recorded so far (across all threads).
+std::size_t trace_event_count();
+
+/// The Chrome trace_event JSON object format:
+/// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":...,"tid":...},...]}
+std::string trace_json();
+/// Writes trace_json() to `path`; returns false on I/O failure.
+bool write_trace_file(const std::string& path);
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      start_us_ = detail::trace_now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_) detail::record_span(name_, start_us_, detail::trace_now_us());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace q2::obs
+
+#ifdef Q2_OBS_DISABLE_TRACING
+#define OBS_SPAN(name)
+#else
+#define Q2_OBS_CONCAT2(a, b) a##b
+#define Q2_OBS_CONCAT(a, b) Q2_OBS_CONCAT2(a, b)
+#define OBS_SPAN(name) \
+  ::q2::obs::ScopedSpan Q2_OBS_CONCAT(q2_obs_span_, __LINE__)(name)
+#endif

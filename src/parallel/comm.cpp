@@ -20,6 +20,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast_bytes(void* data, std::size_t nbytes, int root) {
+  detail::comm_bcast_ops().add();
   auto& st = *state_;
   if (rank_ == root) st.bcast_ptr = data;
   barrier();

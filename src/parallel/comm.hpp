@@ -15,12 +15,38 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace q2::par {
 
 class Comm;
 
 namespace detail {
+
+// Process-wide communication metrics, aggregated across every Comm/World.
+// References cached once per call site (see obs/metrics.hpp).
+inline obs::Counter& comm_bytes_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("comm.bytes");
+  return c;
+}
+inline obs::Counter& comm_bcast_ops() {
+  static obs::Counter& c = obs::Registry::global().counter("comm.bcast_ops");
+  return c;
+}
+inline obs::Counter& comm_reduce_ops() {
+  static obs::Counter& c = obs::Registry::global().counter("comm.reduce_ops");
+  return c;
+}
+inline obs::Counter& comm_allreduce_ops() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("comm.allreduce_ops");
+  return c;
+}
+inline obs::Counter& comm_allgather_ops() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("comm.allgather_ops");
+  return c;
+}
 
 struct CommState {
   explicit CommState(int size)
@@ -66,6 +92,7 @@ class Comm {
   /// Element-wise sum-reduce to `root`; non-root outputs are unspecified.
   template <typename T>
   void reduce_sum(T* data, std::size_t count, int root) {
+    detail::comm_reduce_ops().add();
     collect_slots(data);
     if (rank_ == root) {
       for (int r = 0; r < size(); ++r) {
@@ -86,6 +113,7 @@ class Comm {
   /// Element-wise sum-reduce visible on every rank.
   template <typename T>
   void allreduce_sum(T* data, std::size_t count) {
+    detail::comm_allreduce_ops().add();
     std::vector<T> local(data, data + count);
     collect_slots(local.data());
     for (int r = 0; r < size(); ++r) {
@@ -105,6 +133,7 @@ class Comm {
   /// Gather one value from each rank onto every rank (allgather).
   template <typename T>
   std::vector<T> allgather(const T& value) {
+    detail::comm_allgather_ops().add();
     collect_slots(&value);
     std::vector<T> out(size());
     for (int r = 0; r < size(); ++r) {
@@ -123,7 +152,10 @@ class Comm {
   void bcast_bytes(void* data, std::size_t nbytes, int root);
   /// Publish a per-rank pointer and synchronize so peers may read it.
   void collect_slots(const void* ptr);
-  void account(std::size_t nbytes) { state_->bytes[rank_] += nbytes; }
+  void account(std::size_t nbytes) {
+    state_->bytes[rank_] += nbytes;
+    detail::comm_bytes_counter().add(nbytes);
+  }
 
   std::shared_ptr<detail::CommState> state_;
   int rank_;

@@ -5,8 +5,31 @@
 #include <queue>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace q2::par {
+namespace {
+
+// Publishes the balance quality of the last computed schedule (gauges) and,
+// when a run report is open, the full per-bin load vector — the Fig. 12/13
+// efficiency data in machine-readable form.
+void publish(const char* algorithm, const Schedule& s) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("scheduler.calls").add();
+  reg.gauge("scheduler.bins").set(double(s.loads.size()));
+  reg.gauge("scheduler.makespan").set(s.makespan);
+  reg.gauge("scheduler.efficiency").set(efficiency(s));
+  obs::RunReport::global().record("schedule",
+                                  {{"algorithm", algorithm},
+                                   {"tasks", s.assignment.size()},
+                                   {"bins", s.loads.size()},
+                                   {"makespan", s.makespan},
+                                   {"efficiency", efficiency(s)},
+                                   {"loads", s.loads}});
+}
+
+}  // namespace
 
 Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
   require(bins > 0, "lpt_schedule: bins must be positive");
@@ -34,6 +57,7 @@ Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
     heap.push({load, bin});
   }
   s.makespan = *std::max_element(s.loads.begin(), s.loads.end());
+  publish("lpt", s);
   return s;
 }
 
@@ -50,6 +74,7 @@ Schedule round_robin_schedule(const std::vector<double>& costs,
   }
   s.makespan =
       s.loads.empty() ? 0.0 : *std::max_element(s.loads.begin(), s.loads.end());
+  publish("round_robin", s);
   return s;
 }
 

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace q2::par {
+namespace {
+
+obs::Counter& submitted_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.tasks_submitted");
+  return c;
+}
+obs::Counter& executed_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.tasks_executed");
+  return c;
+}
+obs::Counter& parallel_for_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.parallel_for_calls");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -22,6 +44,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  submitted_counter().add();
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
@@ -36,6 +59,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
   if (begin >= end) return;
+  parallel_for_counter().add();
   grain = std::max<std::size_t>(grain, 1);
   // Dynamic scheduling via a shared counter: workers grab `grain`-sized
   // chunks, which load-balances uneven iterations (e.g. Pauli circuits).
@@ -71,7 +95,11 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    {
+      OBS_SPAN("pool/task");
+      task();
+    }
+    executed_counter().add();
   }
 }
 

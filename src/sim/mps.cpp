@@ -6,9 +6,28 @@
 #include "common/timer.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/svd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace q2::sim {
 namespace {
+
+// Registry lookups are mutex-guarded; resolve once and cache the reference
+// (instruments are never deallocated, see obs/metrics.hpp).
+obs::Counter& gate_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("mps.gates");
+  return c;
+}
+obs::Histogram& contract_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("mps.contract_seconds");
+  return h;
+}
+obs::Histogram& svd_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("mps.svd_seconds");
+  return h;
+}
 
 // View of one site tensor slice B_i (physical index fixed): a Dl x Dr matrix.
 la::CMatrix slice(const std::vector<cplx>& t, std::size_t dl, std::size_t dr,
@@ -144,47 +163,60 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
   const std::size_t dl = dl_[n], dm = dr_[n], dr = dr_[n + 1];
   require(dm == dl_[n + 1], "Mps: inconsistent bond dimensions");
   ++profile_.gates_applied;
+  gate_counter().add();
   Timer hotspot_timer;
 
-  // Eq. (7) part 1: T[(a i'), (j' b)] = sum_m Bn[a,i',m] Bn1[m,j',b].
-  la::CMatrix bn(dl * 2, dm);
-  std::copy(tensors_[n].begin(), tensors_[n].end(), bn.data());
-  la::CMatrix bn1(dm, 2 * dr);
-  std::copy(tensors_[n + 1].begin(), tensors_[n + 1].end(), bn1.data());
-  la::CMatrix t = la::matmul(bn, bn1);
-
-  // Eq. (7) part 2: M[(a i), (j b)] = sum_{i' j'} O[(i j), (i' j')] T.
   la::CMatrix mm(dl * 2, 2 * dr);
-  for (std::size_t a = 0; a < dl; ++a) {
-    for (std::size_t b = 0; b < dr; ++b) {
-      cplx in[4], out[4] = {};
-      for (int ip = 0; ip < 2; ++ip)
-        for (int jp = 0; jp < 2; ++jp)
-          in[ip * 2 + jp] = t(a * 2 + ip, jp * dr + b);
-      for (int r = 0; r < 4; ++r)
-        for (int k = 0; k < 4; ++k) out[r] += o[r * 4 + k] * in[k];
-      for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j) mm(a * 2 + i, j * dr + b) = out[i * 2 + j];
+  la::CMatrix mw;
+  {
+    OBS_SPAN("mps/contract");
+
+    // Eq. (7) part 1: T[(a i'), (j' b)] = sum_m Bn[a,i',m] Bn1[m,j',b].
+    la::CMatrix bn(dl * 2, dm);
+    std::copy(tensors_[n].begin(), tensors_[n].end(), bn.data());
+    la::CMatrix bn1(dm, 2 * dr);
+    std::copy(tensors_[n + 1].begin(), tensors_[n + 1].end(), bn1.data());
+    la::CMatrix t = la::matmul(bn, bn1);
+
+    // Eq. (7) part 2: M[(a i), (j b)] = sum_{i' j'} O[(i j), (i' j')] T.
+    for (std::size_t a = 0; a < dl; ++a) {
+      for (std::size_t b = 0; b < dr; ++b) {
+        cplx in[4], out[4] = {};
+        for (int ip = 0; ip < 2; ++ip)
+          for (int jp = 0; jp < 2; ++jp)
+            in[ip * 2 + jp] = t(a * 2 + ip, jp * dr + b);
+        for (int r = 0; r < 4; ++r)
+          for (int k = 0; k < 4; ++k) out[r] += o[r * 4 + k] * in[k];
+        for (int i = 0; i < 2; ++i)
+          for (int j = 0; j < 2; ++j)
+            mm(a * 2 + i, j * dr + b) = out[i * 2 + j];
+      }
+    }
+
+    // Eq. (8): weight rows by the left-bond Schmidt values.
+    mw = mm;
+    if (n > 0) {
+      const std::vector<double>& lam = lambda_[n - 1];
+      for (std::size_t a = 0; a < dl; ++a)
+        for (int i = 0; i < 2; ++i)
+          for (std::size_t col = 0; col < 2 * dr; ++col)
+            mw(a * 2 + i, col) *= lam[a];
     }
   }
 
-  // Eq. (8): weight rows by the left-bond Schmidt values.
-  la::CMatrix mw = mm;
-  if (n > 0) {
-    const std::vector<double>& lam = lambda_[n - 1];
-    for (std::size_t a = 0; a < dl; ++a)
-      for (int i = 0; i < 2; ++i)
-        for (std::size_t col = 0; col < 2 * dr; ++col)
-          mw(a * 2 + i, col) *= lam[a];
-  }
-
-  profile_.contraction_seconds += hotspot_timer.seconds();
+  double contract_seconds = hotspot_timer.seconds();
+  profile_.contraction_seconds += contract_seconds;
   hotspot_timer.reset();
 
   // Eq. (9): truncated SVD of the weighted tensor.
-  la::TruncatedSvd f = la::svd_truncated(mw, options_.max_bond,
-                                         options_.svd_cutoff);
-  profile_.svd_seconds += hotspot_timer.seconds();
+  la::TruncatedSvd f;
+  {
+    OBS_SPAN("mps/svd");
+    f = la::svd_truncated(mw, options_.max_bond, options_.svd_cutoff);
+  }
+  const double svd_seconds = hotspot_timer.seconds();
+  profile_.svd_seconds += svd_seconds;
+  svd_hist().observe(svd_seconds);
   hotspot_timer.reset();
   const std::size_t k = f.s.size();
   truncation_error_ += f.truncation_error;
@@ -212,13 +244,19 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
 
   // Eq. (10): B_n <- M V^dagger (on the unweighted M), renormalized to keep
   // the state at unit norm after truncation.
-  la::CMatrix bnew = la::matmul(mm, f.vh, la::Op::kNone, la::Op::kAdjoint);
-  tensors_[n].assign(dl * 2 * k, cplx{});
-  for (std::size_t r = 0; r < dl * 2; ++r)
-    for (std::size_t col = 0; col < k; ++col)
-      tensors_[n][r * k + col] = bnew(r, col) * norm_scale;
-  dr_[n] = k;
-  profile_.contraction_seconds += hotspot_timer.seconds();
+  {
+    OBS_SPAN("mps/contract");
+    la::CMatrix bnew = la::matmul(mm, f.vh, la::Op::kNone, la::Op::kAdjoint);
+    tensors_[n].assign(dl * 2 * k, cplx{});
+    for (std::size_t r = 0; r < dl * 2; ++r)
+      for (std::size_t col = 0; col < k; ++col)
+        tensors_[n][r * k + col] = bnew(r, col) * norm_scale;
+    dr_[n] = k;
+  }
+  const double restore_seconds = hotspot_timer.seconds();
+  profile_.contraction_seconds += restore_seconds;
+  contract_seconds += restore_seconds;
+  contract_hist().observe(contract_seconds);
 }
 
 void Mps::apply(const circ::Gate& g, const std::vector<double>& params) {
@@ -234,6 +272,7 @@ void Mps::apply(const circ::Gate& g, const std::vector<double>& params) {
 }
 
 void Mps::run(const circ::Circuit& c, const std::vector<double>& params) {
+  OBS_SPAN("mps/run");
   require(c.n_qubits() == n_, "Mps::run: qubit count mismatch");
   if (c.is_nearest_neighbour()) {
     for (const auto& g : c.gates()) apply(g, params);

@@ -20,7 +20,10 @@ struct MpsOptions {
 };
 
 /// Wall-clock split of the MPS hotspots, accumulated per engine instance
-/// (paper §IV-B reports contraction ~15% / SVD ~82%).
+/// (paper §IV-B reports contraction ~15% / SVD ~82%). The same quantities
+/// also flow into the global obs::Registry ("mps.gates",
+/// "mps.contract_seconds", "mps.svd_seconds"), which aggregates across every
+/// engine in the process; this struct is the per-engine view.
 struct MpsProfile {
   double contraction_seconds = 0.0;
   double svd_seconds = 0.0;
@@ -77,7 +80,11 @@ class Mps {
   std::vector<std::size_t> dl_, dr_;
   std::vector<std::vector<double>> lambda_;  // lambda_[k]: bond between k,k+1
   double truncation_error_ = 0.0;
-  mutable MpsProfile profile_;
+  // Mutated only by the (non-const) apply paths. An engine instance is
+  // single-threaded by contract: gate application, truncation accounting and
+  // this profile are all unsynchronized. Concurrent drivers (distributed VQE,
+  // the thread pool) each own a private Mps.
+  MpsProfile profile_;
 };
 
 }  // namespace q2::sim

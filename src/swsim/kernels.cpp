@@ -3,8 +3,20 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace q2::sw {
 namespace {
+
+obs::Counter& gemm_tile_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("swsim.gemm_tiles");
+  return c;
+}
+obs::Counter& svd_sweep_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("swsim.svd_sweeps");
+  return c;
+}
 
 // Largest square tile such that three cplx tiles fit in the LDM budget.
 std::size_t tile_size_for(std::size_t ldm_bytes) {
@@ -17,6 +29,7 @@ std::size_t tile_size_for(std::size_t ldm_bytes) {
 
 la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
                      const la::CMatrix& b, const SpawnConfig& config) {
+  OBS_SPAN("swsim/gemm_cpe");
   require(a.cols() == b.rows(), "gemm_cpe: inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   la::CMatrix c(m, n);
@@ -25,6 +38,7 @@ la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
   const std::size_t tiles_m = (m + t - 1) / t;
   const std::size_t tiles_n = (n + t - 1) / t;
   const std::size_t total_tiles = tiles_m * tiles_n;
+  gemm_tile_counter().add(total_tiles);
 
   cluster.spawn(config, [&](CpeContext& ctx) {
     // Static round-robin tile ownership over the mesh.
@@ -132,6 +146,7 @@ double rotate_pair_cpe(CpeContext& ctx, la::CMatrix& a, la::CMatrix& v,
 
 la::SvdResult svd_cpe(CpeCluster& cluster, const la::CMatrix& a_in,
                       const SpawnConfig& config) {
+  OBS_SPAN("swsim/svd_cpe");
   require(!a_in.empty(), "svd_cpe: empty matrix");
   if (a_in.rows() < a_in.cols()) {
     la::SvdResult t = svd_cpe(cluster, a_in.adjoint(), config);
@@ -154,6 +169,7 @@ la::SvdResult svd_cpe(CpeCluster& cluster, const la::CMatrix& a_in,
   constexpr int kMaxSweeps = 60;
   std::atomic<bool> any_off{false};
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    svd_sweep_counter().add();
     any_off = false;
     std::vector<std::size_t> pos = ring;
     for (std::size_t round = 0; round + 1 < ne; ++round) {

@@ -1,9 +1,22 @@
 #include "vqe/energy.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/hadamard_test.hpp"
 
 namespace q2::vqe {
 namespace {
+
+obs::Counter& evaluation_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("vqe.energy_evaluations");
+  return c;
+}
+obs::Counter& term_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("vqe.pauli_terms_measured");
+  return c;
+}
 
 // Materialize a parametric circuit at fixed angles — the per-step "circuit
 // synchronization" cost the memory-efficient scheme avoids.
@@ -65,6 +78,9 @@ double EnergyEvaluator::energy(const std::vector<double>& params) const {
 double EnergyEvaluator::partial_energy(
     const std::vector<double>& params,
     const std::vector<std::size_t>& idx) const {
+  OBS_SPAN("vqe/energy");
+  evaluation_counter().add();
+  term_counter().add(idx.size());
   return mode_ == MeasurementMode::kDirect ? measure_direct(params, idx)
                                            : measure_hadamard(params, idx);
 }
@@ -131,9 +147,14 @@ double EnergyEvaluator::measure_direct(const std::vector<double>& params,
   } else {
     state.run(ansatz_, params);
   }
+  last_truncation_error_.store(state.truncation_error(),
+                               std::memory_order_relaxed);
   double e = 0;
-  for (std::size_t k : idx)
-    e += (terms_[k].second * state.expectation(terms_[k].first)).real();
+  {
+    OBS_SPAN("vqe/measure");
+    for (std::size_t k : idx)
+      e += (terms_[k].second * state.expectation(terms_[k].first)).real();
+  }
   return e;
 }
 
@@ -142,6 +163,7 @@ double EnergyEvaluator::measure_hadamard(
     const std::vector<std::size_t>& idx) const {
   double e = 0;
   for (std::size_t k : idx) {
+    OBS_SPAN("vqe/pauli_circuit");
     double re;
     if (storage_ == CircuitStorage::kStoreAll) {
       // Bind and run the pre-built full circuit (ansatz replica per string).
@@ -151,6 +173,8 @@ double EnergyEvaluator::measure_hadamard(
       pauli::PauliString z(std::size_t(bound.n_qubits()));
       z.set(std::size_t(bound.n_qubits()) - 1, pauli::P::Z);
       re = state.expectation(z).real();
+      last_truncation_error_.store(state.truncation_error(),
+                                   std::memory_order_relaxed);
     } else {
       re = sim::hadamard_test_mps(ansatz_, params, terms_[k].first,
                                   mps_options_);

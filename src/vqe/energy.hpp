@@ -5,6 +5,7 @@
 // circuits versus one parametric ansatz replica + on-the-fly tails).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "pauli/qubit_operator.hpp"
@@ -54,6 +55,14 @@ class EnergyEvaluator {
   /// Per-term cost estimates (for LPT load balancing across ranks).
   std::vector<double> term_costs() const;
 
+  /// MPS truncation error accumulated by the most recent energy evaluation on
+  /// this thread's last-written state (best effort: the memory-efficient
+  /// Hadamard path does not expose it and leaves the previous value). Used by
+  /// run reports to attach a fidelity column to each VQE iteration.
+  double last_truncation_error() const {
+    return last_truncation_error_.load(std::memory_order_relaxed);
+  }
+
   const circ::Circuit& ansatz() const { return ansatz_; }
   const std::vector<std::pair<pauli::PauliString, cplx>>& terms() const {
     return terms_;
@@ -73,6 +82,9 @@ class EnergyEvaluator {
   CircuitStorage storage_;
   std::vector<std::pair<pauli::PauliString, cplx>> terms_;
   double constant_ = 0.0;
+  /// Relaxed atomic: distributed VQE calls partial_energy concurrently from
+  /// rank threads; any rank's value is an equally valid report entry.
+  mutable std::atomic<double> last_truncation_error_{0.0};
   /// kStoreAll + kHadamardTest: the full per-string circuits, pre-built.
   std::vector<circ::Circuit> stored_circuits_;
 };

@@ -36,8 +36,9 @@ OptimizerResult minimize_adam(const EnergyFn& f, const GradientFn& grad,
 
   for (int it = 1; it <= options.max_iterations; ++it) {
     const std::vector<double> g = grad(r.parameters);
+    const double gnorm = nrm2(g);
     r.iterations = it;
-    if (nrm2(g) < options.gradient_tolerance) {
+    if (gnorm < options.gradient_tolerance) {
       r.converged = true;
       break;
     }
@@ -50,6 +51,7 @@ OptimizerResult minimize_adam(const EnergyFn& f, const GradientFn& grad,
     }
     const double e = f(r.parameters);
     r.history.push_back(e);
+    if (options.iteration_observer) options.iteration_observer(it, e, gnorm);
     if (std::abs(e - e_prev) < options.energy_tolerance) {
       r.converged = true;
       break;
@@ -148,6 +150,7 @@ OptimizerResult minimize_lbfgs(const EnergyFn& f, const GradientFn& grad,
     g = g_new;
     e = e_new;
     r.history.push_back(e);
+    if (options.iteration_observer) options.iteration_observer(it, e, nrm2(g));
     if (std::abs(e - e_prev) < options.energy_tolerance) {
       r.converged = true;
       break;
@@ -181,7 +184,9 @@ OptimizerResult minimize_spsa(const EnergyFn& f, std::vector<double> x0,
     const double diff = (f(xp) - f(xm)) / (2.0 * ck);
     for (std::size_t k = 0; k < n; ++k)
       r.parameters[k] -= ak * diff / delta[k];
-    r.history.push_back(f(r.parameters));
+    const double e = f(r.parameters);
+    r.history.push_back(e);
+    if (options.iteration_observer) options.iteration_observer(it, e, -1.0);
   }
   r.energy = r.history.back();
   r.converged = true;  // SPSA runs a fixed budget by design

@@ -15,11 +15,18 @@ using EnergyFn = std::function<double(const std::vector<double>&)>;
 using GradientFn =
     std::function<std::vector<double>(const std::vector<double>&)>;
 
+/// Invoked once per outer optimizer iteration with (iteration, energy,
+/// gradient_norm); gradient_norm is negative when the optimizer doesn't
+/// evaluate a gradient (SPSA). Used by the telemetry layer to stream
+/// per-iteration run-report records without coupling optimizers to it.
+using IterationObserver = std::function<void(int, double, double)>;
+
 struct OptimizerOptions {
   int max_iterations = 200;
   double gradient_tolerance = 1e-6;
   double energy_tolerance = 1e-10;
   double learning_rate = 0.1;  ///< Adam step size / SPSA a-parameter
+  IterationObserver iteration_observer;
 };
 
 struct OptimizerResult {

@@ -1,29 +1,63 @@
 #include "vqe/vqe_driver.hpp"
 
+#include <memory>
+
 #include "chem/hamiltonian.hpp"
+#include "common/timer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace q2::vqe {
 namespace {
 
+// `report` gates run-report emission so only rank 0 of a distributed run
+// writes records (every rank executes the same optimizer trajectory).
 VqeResult optimize(const EnergyEvaluator& evaluator, const UccsdAnsatz& ansatz,
-                   const VqeOptions& options, const EnergyFn& energy_fn) {
+                   const VqeOptions& options, const EnergyFn& energy_fn,
+                   bool report = true) {
+  OBS_SPAN("vqe/optimize");
   GradientFn grad_fn = [&](const std::vector<double>& x) {
     return finite_difference_gradient(energy_fn, x, options.gradient_eps);
   };
   const std::vector<double> x0 = initial_parameters(ansatz);
 
+  OptimizerOptions opt_options = options.optimizer;
+  obs::RunReport& sink = obs::RunReport::global();
+  const bool reporting = report && sink.is_open();
+  std::shared_ptr<Timer> iter_timer;
+  if (reporting) {
+    sink.record("vqe_setup", {{"n_qubits", ansatz.circuit.n_qubits()},
+                              {"n_parameters", ansatz.n_parameters},
+                              {"n_pauli_terms", evaluator.n_terms()},
+                              {"circuit_gates", ansatz.circuit.size()}});
+    iter_timer = std::make_shared<Timer>();
+    const IterationObserver user_observer = opt_options.iteration_observer;
+    opt_options.iteration_observer = [&evaluator, iter_timer, user_observer](
+                                         int it, double e, double gnorm) {
+      obs::RunReport::global().record(
+          "vqe_iteration",
+          {{"iteration", it},
+           {"energy", e},
+           {"gradient_norm", gnorm},
+           {"truncation_error", evaluator.last_truncation_error()},
+           {"wall_seconds", iter_timer->seconds()}});
+      iter_timer->reset();
+      if (user_observer) user_observer(it, e, gnorm);
+    };
+  }
+
   OptimizerResult opt;
   switch (options.method) {
     case OptimizerKind::kLbfgs:
-      opt = minimize_lbfgs(energy_fn, grad_fn, x0, options.optimizer);
+      opt = minimize_lbfgs(energy_fn, grad_fn, x0, opt_options);
       break;
     case OptimizerKind::kAdam:
-      opt = minimize_adam(energy_fn, grad_fn, x0, options.optimizer);
+      opt = minimize_adam(energy_fn, grad_fn, x0, opt_options);
       break;
     case OptimizerKind::kSpsa: {
       Rng rng(7);
-      opt = minimize_spsa(energy_fn, x0, rng, options.optimizer);
+      opt = minimize_spsa(energy_fn, x0, rng, opt_options);
       break;
     }
   }
@@ -37,6 +71,10 @@ VqeResult optimize(const EnergyEvaluator& evaluator, const UccsdAnsatz& ansatz,
   r.n_pauli_terms = evaluator.n_terms();
   r.n_parameters = ansatz.n_parameters;
   r.circuit_gates = ansatz.circuit.size();
+  if (reporting)
+    sink.record("vqe_result", {{"converged", r.converged},
+                               {"energy", r.energy},
+                               {"iterations", r.iterations}});
   return r;
 }
 
@@ -84,7 +122,7 @@ VqeResult run_vqe_distributed(const chem::MoIntegrals& mo, int n_alpha,
     const double partial = evaluator.partial_energy(params, mine);
     return evaluator.constant_term() + comm.allreduce_sum(partial);
   };
-  return optimize(evaluator, ansatz, options, f);
+  return optimize(evaluator, ansatz, options, f, /*report=*/comm.rank() == 0);
 }
 
 }  // namespace q2::vqe

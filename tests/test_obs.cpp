@@ -1,0 +1,490 @@
+// Telemetry layer: counter/gauge/histogram semantics, scoped-span tracing
+// (including cross-thread recording and the Chrome trace_event export, which
+// is parsed back with a minimal JSON parser), JSONL run reports, and the
+// --trace=/--report=/--metrics= flag plumbing.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace q2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser, just enough to validate our own
+// emission. Throws std::runtime_error on malformed input (gtest reports the
+// uncaught exception as a test failure).
+
+struct Jv {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Jv> array;
+  std::map<std::string, Jv> object;
+
+  const Jv& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Jv parse() {
+    Jv v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Jv value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (consume_literal("null")) return Jv{};
+    if (consume_literal("true")) {
+      Jv v;
+      v.type = Jv::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      Jv v;
+      v.type = Jv::kBool;
+      return v;
+    }
+    return number();
+  }
+
+  Jv object() {
+    Jv v;
+    v.type = Jv::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      Jv key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Jv array() {
+    Jv v;
+    v.type = Jv::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Jv string_value() {
+    Jv v;
+    v.type = Jv::kString;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            const unsigned code =
+                unsigned(std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            if (code > 0xFF) throw std::runtime_error("non-latin \\u escape");
+            v.string += char(code);
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+  }
+
+  Jv number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("expected a number");
+    Jv v;
+    v.type = Jv::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Jv parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Instruments.
+
+TEST(ObsMetrics, CounterSemantics) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeSemantics) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-7.0);  // last write wins
+  EXPECT_EQ(g.value(), -7.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndOverflow) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (edges are inclusive upper bounds)
+  h.observe(5.0);    // bucket 1
+  h.observe(50.0);   // bucket 2
+  h.observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 1056.5, 1e-12);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsMetrics, DefaultTimeBoundsAscend) {
+  const std::vector<double> b = obs::default_time_bounds();
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_LE(b.front(), 1e-5);  // catches microsecond-scale gates
+  EXPECT_GE(b.back(), 1.0);    // and second-scale solves
+}
+
+TEST(ObsMetrics, RegistryLookupIsStableAcrossReset) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& c = reg.counter("test_obs.stable");
+  EXPECT_EQ(&c, &reg.counter("test_obs.stable"));
+  c.add(3);
+  obs::Gauge& g = reg.gauge("test_obs.gauge");
+  g.set(1.25);
+  obs::Histogram& h = reg.histogram("test_obs.hist", {1.0, 2.0});
+  h.observe(1.5);
+
+  obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test_obs.stable"), 3u);
+  EXPECT_EQ(snap.gauges.at("test_obs.gauge"), 1.25);
+  EXPECT_EQ(snap.histograms.at("test_obs.hist").count, 1u);
+
+  reg.reset();
+  // The same references remain usable after reset(); values are zeroed.
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  EXPECT_EQ(reg.snapshot().counters.at("test_obs.stable"), 1u);
+}
+
+TEST(ObsMetrics, JsonDumpParses) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("test_obs.json_counter").add(7);
+  reg.histogram("test_obs.json_hist").observe(0.5);
+  const Jv root = parse_json(reg.json());
+  EXPECT_EQ(root.at("counters").at("test_obs.json_counter").number, 7.0);
+  const Jv& hist = root.at("histograms").at("test_obs.json_hist");
+  EXPECT_EQ(hist.at("count").number, 1.0);
+  EXPECT_EQ(hist.at("bounds").array.size() + 1, hist.at("counts").array.size());
+  // The text dump should at least mention every instrument.
+  EXPECT_NE(reg.text().find("test_obs.json_counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  obs::set_tracing(false);
+  obs::clear_trace();
+  {
+    OBS_SPAN("test/should_not_appear");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(ObsTrace, NestedSpansAcrossThreadsExportValidChromeJson) {
+#ifdef Q2_OBS_DISABLE_TRACING
+  GTEST_SKIP() << "tracing compiled out (Q2_OBS_DISABLE_TRACING)";
+#endif
+  obs::set_tracing(true);
+  obs::clear_trace();
+  {
+    OBS_SPAN("test/outer");
+    { OBS_SPAN("test/inner"); }
+    std::thread a([] { OBS_SPAN("test/worker_a"); });
+    std::thread b([] { OBS_SPAN("test/worker_b"); });
+    a.join();
+    b.join();
+  }
+  obs::set_tracing(false);
+  EXPECT_EQ(obs::trace_event_count(), 4u);
+
+  const Jv root = parse_json(obs::trace_json());
+  const std::vector<Jv>& events = root.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 4u);
+  const Jv* outer = nullptr;
+  const Jv* inner = nullptr;
+  std::map<std::string, double> tids;
+  for (const Jv& e : events) {
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_GE(e.at("ts").number, 0.0);
+    EXPECT_GE(e.at("dur").number, 0.0);
+    EXPECT_TRUE(e.has("pid"));
+    tids[e.at("name").string] = e.at("tid").number;
+    if (e.at("name").string == "test/outer") outer = &e;
+    if (e.at("name").string == "test/inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Nesting: the inner span lies within the outer span, on the same lane.
+  EXPECT_EQ(outer->at("tid").number, inner->at("tid").number);
+  EXPECT_LE(outer->at("ts").number, inner->at("ts").number);
+  EXPECT_GE(outer->at("ts").number + outer->at("dur").number,
+            inner->at("ts").number + inner->at("dur").number);
+  // The worker threads get their own lanes.
+  EXPECT_NE(tids.at("test/worker_a"), tids.at("test/outer"));
+  EXPECT_NE(tids.at("test/worker_a"), tids.at("test/worker_b"));
+
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(ObsTrace, WriteTraceFileRoundTrips) {
+#ifdef Q2_OBS_DISABLE_TRACING
+  GTEST_SKIP() << "tracing compiled out (Q2_OBS_DISABLE_TRACING)";
+#endif
+  obs::set_tracing(true);
+  obs::clear_trace();
+  { OBS_SPAN("test/file_span"); }
+  obs::set_tracing(false);
+  const std::string path = temp_path("q2_test.trace.json");
+  ASSERT_TRUE(obs::write_trace_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const Jv root = parse_json(ss.str());
+  ASSERT_EQ(root.at("traceEvents").array.size(), 1u);
+  EXPECT_EQ(root.at("traceEvents").array[0].at("name").string,
+            "test/file_span");
+  obs::clear_trace();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Run reports.
+
+TEST(ObsReport, JsonlRoundTrip) {
+  obs::RunReport& report = obs::RunReport::global();
+  EXPECT_FALSE(report.is_open());
+  report.record("ignored", {{"x", 1}});  // no-op while closed
+
+  const std::string path = temp_path("q2_test_report.jsonl");
+  ASSERT_TRUE(report.open(path));
+  EXPECT_TRUE(report.is_open());
+  report.record("vqe_iteration",
+                {{"iteration", 0},
+                 {"energy", -1.125},
+                 {"note", "quoted \"text\"\n"}});
+  report.record("schedule", {{"loads", std::vector<double>{1.0, 2.5}}});
+  report.close();
+  EXPECT_FALSE(report.is_open());
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const Jv first = parse_json(lines[0]);
+  EXPECT_EQ(first.at("kind").string, "vqe_iteration");
+  EXPECT_EQ(first.at("iteration").number, 0.0);
+  EXPECT_EQ(first.at("energy").number, -1.125);
+  EXPECT_EQ(first.at("note").string, "quoted \"text\"\n");
+  const Jv second = parse_json(lines[1]);
+  ASSERT_EQ(second.at("loads").array.size(), 2u);
+  EXPECT_EQ(second.at("loads").array[1].number, 2.5);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission corner cases.
+
+TEST(ObsJson, EscapesAndNumbers) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(parse_json(obs::json_number(0.1)).number, 0.1);
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+  const std::string obj = obs::json_object(
+      {{"s", "v"}, {"b", true}, {"n", nullptr}, {"i", std::size_t(3)}});
+  const Jv root = parse_json(obj);
+  EXPECT_EQ(root.at("s").string, "v");
+  EXPECT_TRUE(root.at("b").boolean);
+  EXPECT_EQ(root.at("n").type, Jv::kNull);
+  EXPECT_EQ(root.at("i").number, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flag plumbing. Runs last in this file: configure_from_args() enables the
+// sinks process-wide, and we flush them via shutdown() within the test.
+
+TEST(ObsConfig, ConfigureFromArgsStripsFlagsAndWritesSinks) {
+  const std::string trace = temp_path("q2_cfg.trace.json");
+  const std::string report = temp_path("q2_cfg.jsonl");
+  const std::string metrics = temp_path("q2_cfg_metrics.json");
+  const std::string trace_arg = "--trace=" + trace;
+  const std::string report_arg = "--report=" + report;
+  const std::string metrics_arg = "--metrics=" + metrics;
+  std::vector<char*> argv = {
+      const_cast<char*>("prog"),      const_cast<char*>(trace_arg.c_str()),
+      const_cast<char*>("1.4"),       const_cast<char*>(report_arg.c_str()),
+      const_cast<char*>(metrics_arg.c_str()),
+      const_cast<char*>("--other-flag")};
+  int argc = int(argv.size());
+  obs::configure_from_args(argc, argv.data());
+  // Recognized flags are consumed; positionals and foreign flags survive.
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "1.4");
+  EXPECT_STREQ(argv[2], "--other-flag");
+  EXPECT_TRUE(obs::tracing_enabled());
+  EXPECT_TRUE(obs::RunReport::global().is_open());
+
+  { OBS_SPAN("test/configured"); }
+  obs::RunReport::global().record("marker", {{"ok", true}});
+  obs::Registry::global().counter("test_obs.configured").add();
+  obs::shutdown();
+  EXPECT_FALSE(obs::tracing_enabled());
+  EXPECT_FALSE(obs::RunReport::global().is_open());
+
+  std::ifstream tin(trace);
+  ASSERT_TRUE(tin.good());
+  std::stringstream tss;
+  tss << tin.rdbuf();
+  const Jv troot = parse_json(tss.str());
+#ifndef Q2_OBS_DISABLE_TRACING
+  bool found = false;
+  for (const Jv& e : troot.at("traceEvents").array)
+    if (e.at("name").string == "test/configured") found = true;
+  EXPECT_TRUE(found);
+#endif
+
+  std::ifstream rin(report);
+  std::string line;
+  ASSERT_TRUE(std::getline(rin, line));
+  EXPECT_EQ(parse_json(line).at("kind").string, "marker");
+
+  std::ifstream min(metrics);
+  ASSERT_TRUE(min.good());
+  std::stringstream mss;
+  mss << min.rdbuf();
+  EXPECT_GE(parse_json(mss.str())
+                .at("counters")
+                .at("test_obs.configured")
+                .number,
+            1.0);
+
+  obs::clear_trace();
+  std::remove(trace.c_str());
+  std::remove(report.c_str());
+  std::remove(metrics.c_str());
+}
+
+}  // namespace
+}  // namespace q2
