@@ -13,15 +13,18 @@
 #include "chem/scf.hpp"
 #include "common/timer.hpp"
 #include "obs/obs.hpp"
+#include "parallel/parallel_options.hpp"
 
 namespace q2::bench {
 
 /// Call first thing in main(): consumes the shared telemetry flags
 /// (--trace= / --report= / --metrics=, or the Q2_* environment variables) so
 /// every bench can emit a Chrome trace, a JSONL run report, and a metrics
-/// dump without per-binary plumbing.
+/// dump without per-binary plumbing, plus --threads=N (or Q2_THREADS) for
+/// the on-node parallel loops.
 inline void init(int& argc, char** argv) {
   obs::configure_from_args(argc, argv);
+  par::configure_threads_from_args(argc, argv);
 }
 
 /// Collects one benchmark's headline results and writes them to

@@ -11,10 +11,12 @@
 #include "chem/fci.hpp"
 #include "dmet/dmet_driver.hpp"
 #include "obs/obs.hpp"
+#include "parallel/parallel_options.hpp"
 
 int main(int argc, char** argv) {
   using namespace q2;
   obs::configure_from_args(argc, argv);
+  par::configure_threads_from_args(argc, argv);
   int n = 6;
   double bond = 1.8;
   bool use_fci_solver = false;

@@ -13,6 +13,7 @@
 #include "chem/scf.hpp"
 #include "circuit/routing.hpp"
 #include "obs/obs.hpp"
+#include "parallel/parallel_options.hpp"
 #include "parallel/comm.hpp"
 #include "sim/mps.hpp"
 #include "vqe/vqe_driver.hpp"
@@ -20,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace q2;
   obs::configure_from_args(argc, argv);
+  par::configure_threads_from_args(argc, argv);
   const int n = argc > 1 ? std::atoi(argv[1]) : 4;
   const double spacing = argc > 2 ? std::atof(argv[2]) : 1.8;
   if (n % 2 != 0 || n < 2) {

@@ -12,6 +12,7 @@
 #include "chem/fci.hpp"
 #include "dmet/dmet_driver.hpp"
 #include "obs/obs.hpp"
+#include "parallel/parallel_options.hpp"
 
 namespace {
 
@@ -39,6 +40,7 @@ double dmet_energy(const chem::Molecule& mol,
 
 int main(int argc, char** argv) {
   q2::obs::configure_from_args(argc, argv);
+  q2::par::configure_threads_from_args(argc, argv);
   bool use_vqe = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--vqe") == 0) use_vqe = true;

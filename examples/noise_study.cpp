@@ -12,12 +12,14 @@
 #include "chem/scf.hpp"
 #include "circuit/routing.hpp"
 #include "obs/obs.hpp"
+#include "parallel/parallel_options.hpp"
 #include "sim/densitymatrix.hpp"
 #include "vqe/vqe_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace q2;
   obs::configure_from_args(argc, argv);
+  par::configure_threads_from_args(argc, argv);
   const chem::Molecule mol = chem::Molecule::h2(1.4);
   const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
   const chem::IntegralTables ints = chem::compute_integrals(mol, basis);

@@ -3,7 +3,7 @@
 // UCCSD MPS-VQE -> comparison against FCI.
 //
 //   ./quickstart [--trace=FILE] [--report=FILE] [--metrics=FILE]
-//                [bond_length_bohr]
+//                [--threads=N] [bond_length_bohr]
 //
 // --trace= writes a Chrome trace (open in chrome://tracing or Perfetto),
 // --report= a JSONL run report with per-iteration VQE energies, and
@@ -17,12 +17,14 @@
 #include "chem/scf.hpp"
 #include "common/log.hpp"
 #include "obs/obs.hpp"
+#include "parallel/parallel_options.hpp"
 #include "vqe/vqe_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace q2;
   log::set_level(log::Level::kInfo);  // show where telemetry files land
   obs::configure_from_args(argc, argv);
+  par::configure_threads_from_args(argc, argv);
   const double r = argc > 1 ? std::atof(argv[1]) : 1.4;
 
   std::printf("Q2Chemistry quickstart: H2 at R = %.3f bohr (STO-3G)\n\n", r);

@@ -1,12 +1,15 @@
 #include "dmet/dmet_driver.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
+#include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/mps.hpp"
 
 namespace q2::dmet {
@@ -123,12 +126,12 @@ Prepared prepare(const chem::Molecule& molecule, const DmetOptions& options) {
 Evaluation evaluate(const Prepared& prep, double mu,
                     const FragmentSolver& solver,
                     const std::function<bool(std::size_t)>& mine,
-                    par::Comm* comm, bool equivalent_fragments) {
+                    par::Comm* comm, const DmetOptions& options) {
   OBS_SPAN("dmet/evaluate");
   Evaluation ev;
   ev.fragment_energies.assign(prep.problems.size(), 0.0);
   ev.fragment_electrons.assign(prep.problems.size(), 0.0);
-  if (equivalent_fragments && !prep.problems.empty()) {
+  if (options.equivalent_fragments && !prep.problems.empty()) {
     OBS_SPAN("dmet/fragment_solve");
     fragment_solve_counter().add();
     const EmbeddingProblem& prob = prep.problems[0];
@@ -143,8 +146,17 @@ Evaluation evaluate(const Prepared& prep, double mu,
     }
     return ev;
   }
-  for (std::size_t f = 0; f < prep.problems.size(); ++f) {
-    if (!mine(f)) continue;
+  // Non-equivalent fragments solve independently: fan this rank's share out
+  // on the shared-memory pool (fragment solves nest VQE term sweeps — the
+  // pool's caller-runs waiting keeps that safe). Each solve writes its own
+  // slot; the index-order reduction below is thread-count independent.
+  std::vector<std::size_t> todo;
+  for (std::size_t f = 0; f < prep.problems.size(); ++f)
+    if (mine(f)) todo.push_back(f);
+  par::ParallelOptions opts = options.parallel;
+  opts.grain = 1;  // one fragment solve is a large unit of work
+  par::parallel_for(opts, 0, todo.size(), [&](std::size_t t) {
+    const std::size_t f = todo[t];
     OBS_SPAN("dmet/fragment_solve");
     fragment_solve_counter().add();
     const EmbeddingProblem& prob = prep.problems[f];
@@ -153,7 +165,7 @@ Evaluation evaluate(const Prepared& prep, double mu,
     const FragmentSolution sol = solver(prob, solver_mo);
     ev.fragment_energies[f] = sol.energy;
     ev.fragment_electrons[f] = sol.electrons;
-  }
+  });
   if (comm) {
     // Level-1 reduction: one scalar per fragment (§IV-C).
     comm->allreduce_sum(ev.fragment_energies.data(),
@@ -182,8 +194,7 @@ DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
   const bool reporting = sink.is_open() && (!comm || comm->rank() == 0);
   int cycle = 0;
   auto eval_at = [&](double mu_value) {
-    Evaluation ev = evaluate(prep, mu_value, solver, mine, comm,
-                             options.equivalent_fragments);
+    Evaluation ev = evaluate(prep, mu_value, solver, mine, comm, options);
     if (reporting)
       sink.record("dmet_cycle",
                   {{"cycle", cycle},
@@ -204,42 +215,63 @@ DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
   Evaluation ev = eval_at(mu);
   result.mu_iterations = 1;
 
+  bool bracket_failed = false;
   if (options.fit_chemical_potential &&
       std::abs(ev.electrons - target) > options.electron_tolerance &&
       prep.problems.size() > 1) {
-    // N(mu) is monotonically increasing; bracket the root, then bisect.
+    // N(mu) is monotonically increasing; bracket the root, then bisect. Each
+    // side expands on its own budget — a hard lo search must not starve the
+    // hi search (or vice versa).
     double lo = -options.mu_bracket, hi = options.mu_bracket;
     Evaluation ev_lo = eval_at(lo);
     Evaluation ev_hi = eval_at(hi);
     result.mu_iterations += 2;
-    int expansions = 0;
-    while (ev_lo.electrons > target && expansions < 6) {
+    int lo_expansions = 0;
+    while (ev_lo.electrons > target &&
+           lo_expansions < options.max_bracket_expansions) {
       lo *= 2.0;
       ev_lo = eval_at(lo);
       ++result.mu_iterations;
-      ++expansions;
+      ++lo_expansions;
     }
-    while (ev_hi.electrons < target && expansions < 12) {
+    int hi_expansions = 0;
+    while (ev_hi.electrons < target &&
+           hi_expansions < options.max_bracket_expansions) {
       hi *= 2.0;
       ev_hi = eval_at(hi);
       ++result.mu_iterations;
-      ++expansions;
+      ++hi_expansions;
     }
-    for (int it = 0; it < options.max_mu_iterations; ++it) {
-      mu = 0.5 * (lo + hi);
-      ev = eval_at(mu);
-      ++result.mu_iterations;
-      if (std::abs(ev.electrons - target) <= options.electron_tolerance) break;
-      if (ev.electrons < target)
-        lo = mu;
-      else
-        hi = mu;
+    bracket_failed =
+        ev_lo.electrons > target || ev_hi.electrons < target;
+    if (bracket_failed) {
+      // Bisecting an invalid bracket can only walk toward the wrong endpoint;
+      // report the failure instead of burning max_mu_iterations solves.
+      log::warn("dmet: chemical-potential bracket failed in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) +
+                "] (target " + std::to_string(target) + " electrons, N(lo)=" +
+                std::to_string(ev_lo.electrons) + ", N(hi)=" +
+                std::to_string(ev_hi.electrons) + "); result marked "
+                "unconverged");
+    } else {
+      for (int it = 0; it < options.max_mu_iterations; ++it) {
+        mu = 0.5 * (lo + hi);
+        ev = eval_at(mu);
+        ++result.mu_iterations;
+        if (std::abs(ev.electrons - target) <= options.electron_tolerance)
+          break;
+        if (ev.electrons < target)
+          lo = mu;
+        else
+          hi = mu;
+      }
     }
   }
 
   result.converged =
-      std::abs(ev.electrons - target) <= options.electron_tolerance ||
-      !options.fit_chemical_potential || prep.problems.size() == 1;
+      !bracket_failed &&
+      (std::abs(ev.electrons - target) <= options.electron_tolerance ||
+       !options.fit_chemical_potential || prep.problems.size() == 1);
   result.mu = mu;
   result.total_electrons = ev.electrons;
   result.fragment_energies = ev.fragment_energies;

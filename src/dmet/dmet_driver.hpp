@@ -42,6 +42,13 @@ struct DmetOptions {
   double electron_tolerance = 1e-5;
   int max_mu_iterations = 30;
   double mu_bracket = 0.5;  ///< initial bisection half-width
+  /// Each side of the bracket may double at most this many times before the
+  /// fit is declared failed (result.converged = false).
+  int max_bracket_expansions = 6;
+  /// On-node parallelism across non-equivalent fragment solves (level 1 of
+  /// the paper's hierarchy, folded onto the shared-memory pool). Fragment
+  /// solves nest VQE term sweeps; the pool is nesting-safe.
+  par::ParallelOptions parallel;
 };
 
 struct DmetResult {

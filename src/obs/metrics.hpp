@@ -33,10 +33,18 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-written scalar (loads, sizes, efficiencies).
+/// Last-written scalar (loads, sizes, efficiencies). Also supports atomic
+/// increments for occupancy-style gauges (pool.active_chunks) where several
+/// threads enter/leave concurrently.
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 

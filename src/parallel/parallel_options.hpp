@@ -1,0 +1,37 @@
+// Shared-memory parallelism knobs, plumbed from driver options (MpsOptions /
+// VqeOptions / DmetOptions) down to the loops that fan work out onto the
+// process-wide ThreadPool. Kept dependency-free so sim/ can embed it without
+// pulling in the pool itself.
+#pragma once
+
+#include <cstddef>
+
+namespace q2::par {
+
+struct ParallelOptions {
+  /// Worker count for parallel loops. 0 = auto: the Q2_THREADS environment
+  /// variable if set, otherwise the global pool size. 1 = run serially on the
+  /// calling thread (no pool involvement).
+  std::size_t n_threads = 0;
+  /// Minimum iterations per dynamically-claimed chunk.
+  std::size_t grain = 1;
+  /// Combine per-chunk partial results in index order so the floating-point
+  /// reduction is identical for every thread count (parallel == serial
+  /// bit-for-bit). Disabling allows first-come combining; nothing in-tree
+  /// does that today, but benches can use it to measure the cost.
+  bool deterministic_reduction = true;
+};
+
+/// Resolves `opts.n_threads`: explicit value > process default (set via
+/// set_default_threads or Q2_THREADS) > global pool size. Always >= 1.
+std::size_t resolve_threads(const ParallelOptions& opts);
+
+/// Process-wide default used when ParallelOptions::n_threads == 0. Overrides
+/// the Q2_THREADS environment variable. 0 restores env/hardware resolution.
+void set_default_threads(std::size_t n);
+
+/// Strips a `--threads=N` flag from argv (examples/benches share this the way
+/// they share the telemetry flags) and records it via set_default_threads.
+void configure_threads_from_args(int& argc, char** argv);
+
+}  // namespace q2::par

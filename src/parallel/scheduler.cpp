@@ -31,11 +31,11 @@ void publish(const char* algorithm, const Schedule& s) {
 
 }  // namespace
 
-Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
-  require(bins > 0, "lpt_schedule: bins must be positive");
-  Schedule s;
-  s.assignment.resize(costs.size());
-  s.loads.assign(bins, 0.0);
+std::vector<std::size_t> lpt_assign(const std::vector<double>& costs,
+                                    std::size_t bins) {
+  require(bins > 0, "lpt_assign: bins must be positive");
+  std::vector<std::size_t> assignment(costs.size());
+  std::vector<double> loads(bins, 0.0);
 
   std::vector<std::size_t> order(costs.size());
   std::iota(order.begin(), order.end(), 0);
@@ -43,7 +43,8 @@ Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
     return costs[a] > costs[b];
   });
 
-  // Min-heap of (load, bin).
+  // Min-heap of (load, bin); ties resolve to the lowest bin index, so equal
+  // costs always produce the same assignment.
   using Entry = std::pair<double, std::size_t>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   for (std::size_t b = 0; b < bins; ++b) heap.push({0.0, b});
@@ -51,12 +52,24 @@ Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
   for (std::size_t i : order) {
     auto [load, bin] = heap.top();
     heap.pop();
-    s.assignment[i] = bin;
+    assignment[i] = bin;
     load += costs[i];
-    s.loads[bin] = load;
+    loads[bin] = load;
     heap.push({load, bin});
   }
-  s.makespan = *std::max_element(s.loads.begin(), s.loads.end());
+  return assignment;
+}
+
+Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins) {
+  require(bins > 0, "lpt_schedule: bins must be positive");
+  Schedule s;
+  s.assignment = lpt_assign(costs, bins);
+  s.loads.assign(bins, 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    s.loads[s.assignment[i]] += costs[i];
+  s.makespan = costs.empty()
+                   ? 0.0
+                   : *std::max_element(s.loads.begin(), s.loads.end());
   publish("lpt", s);
   return s;
 }

@@ -21,6 +21,13 @@ struct Schedule {
 /// LPT list scheduling of weighted tasks into `bins` bins.
 Schedule lpt_schedule(const std::vector<double>& costs, std::size_t bins);
 
+/// Assignment-only LPT without the telemetry publication — for hot loops
+/// (the per-evaluation Pauli-term sweep) that re-partition every call and
+/// would otherwise flood the run report. Deterministic: ties are broken by
+/// task index (stable sort) and lowest bin index.
+std::vector<std::size_t> lpt_assign(const std::vector<double>& costs,
+                                    std::size_t bins);
+
 /// Round-robin baseline (what a cost-oblivious distribution would do); kept
 /// for the load-balancing ablation bench.
 Schedule round_robin_schedule(const std::vector<double>& costs,

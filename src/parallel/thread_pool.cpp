@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -24,8 +27,54 @@ obs::Counter& parallel_for_counter() {
       obs::Registry::global().counter("pool.parallel_for_calls");
   return c;
 }
+obs::Counter& chunk_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.chunks_run");
+  return c;
+}
+/// Threads currently executing parallel_for chunks (workers and helping
+/// callers alike) — the pool-occupancy signal run reports sample.
+obs::Gauge& occupancy_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("pool.active_chunks");
+  return g;
+}
+
+std::size_t env_threads() {
+  const char* s = std::getenv("Q2_THREADS");
+  if (!s || !*s) return 0;
+  const long v = std::strtol(s, nullptr, 10);
+  return v > 0 ? std::size_t(v) : 0;
+}
+
+std::atomic<std::size_t> g_default_threads{0};
 
 }  // namespace
+
+std::size_t resolve_threads(const ParallelOptions& opts) {
+  if (opts.n_threads > 0) return opts.n_threads;
+  const std::size_t def = g_default_threads.load(std::memory_order_relaxed);
+  if (def > 0) return def;
+  const std::size_t env = env_threads();
+  if (env > 0) return env;
+  return ThreadPool::global().size();
+}
+
+void set_default_threads(std::size_t n) {
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+void configure_threads_from_args(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (v > 0) set_default_threads(std::size_t(v));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -55,33 +104,124 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  {
+    OBS_SPAN("pool/task");
+    task();
+  }
+  executed_counter().add();
+  return true;
+}
+
+// Shared state of one parallel_for: a dynamic chunk counter plus completion
+// and error tracking. Helpers and the caller all claim through the same
+// atomics; the loop is over when the range is exhausted AND no chunk is still
+// executing.
+struct ThreadPool::LoopState {
+  std::atomic<std::size_t> next;
+  std::size_t end;
+  std::size_t grain;
+  const std::function<void(std::size_t)>* fn;
+  std::atomic<std::size_t> active{0};  ///< chunks currently executing
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  ///< first exception thrown by a chunk
+
+  bool complete() const {
+    return next.load(std::memory_order_acquire) >= end &&
+           active.load(std::memory_order_acquire) == 0;
+  }
+};
+
+void ThreadPool::run_chunks(LoopState& st) {
+  for (;;) {
+    // Claim-then-mark-active would race completion (claimed but not yet
+    // active looks idle), so mark active first and undo on a failed claim.
+    st.active.fetch_add(1, std::memory_order_acq_rel);
+    const std::size_t lo = st.next.fetch_add(st.grain);
+    if (lo >= st.end) {
+      if (st.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(st.m);
+        st.done_cv.notify_all();
+      }
+      return;
+    }
+    const std::size_t hi = std::min(st.end, lo + st.grain);
+    occupancy_gauge().add(1.0);
+    chunk_counter().add();
+    try {
+      OBS_SPAN("pool/chunk");
+      for (std::size_t i = lo; i < hi; ++i) (*st.fn)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(st.m);
+        if (!st.error) st.error = std::current_exception();
+      }
+      // Abandon unclaimed iterations so the loop winds down promptly.
+      st.next.store(st.end, std::memory_order_release);
+    }
+    occupancy_gauge().add(-1.0);
+    if (st.active.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        st.next.load(std::memory_order_acquire) >= st.end) {
+      std::lock_guard<std::mutex> lk(st.m);
+      st.done_cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain, std::size_t max_threads) {
   if (begin >= end) return;
   parallel_for_counter().add();
   grain = std::max<std::size_t>(grain, 1);
-  // Dynamic scheduling via a shared counter: workers grab `grain`-sized
-  // chunks, which load-balances uneven iterations (e.g. Pauli circuits).
-  auto counter = std::make_shared<std::atomic<std::size_t>>(begin);
-  std::vector<std::future<void>> futs;
-  const std::size_t nworkers = std::min(size(), (end - begin + grain - 1) / grain);
-  futs.reserve(nworkers);
-  for (std::size_t w = 0; w < nworkers; ++w) {
-    futs.push_back(submit([counter, end, grain, &fn] {
-      for (;;) {
-        const std::size_t lo = counter->fetch_add(grain);
-        if (lo >= end) return;
-        const std::size_t hi = std::min(end, lo + grain);
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      }
-    }));
+
+  auto st = std::make_shared<LoopState>();
+  st->next.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  st->grain = grain;
+  st->fn = &fn;
+
+  // One claimant is the caller itself; the rest are pool helpers. Helpers
+  // hold st alive via the shared_ptr so an early-returning caller (exception
+  // path) can never dangle — but the barrier below means st outlives them
+  // anyway.
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  std::size_t claimants = std::min(size() + 1, chunks);
+  if (max_threads > 0) claimants = std::min(claimants, max_threads);
+  for (std::size_t w = 1; w < claimants; ++w)
+    submit([st] { run_chunks(*st); });
+
+  run_chunks(*st);
+
+  // Barrier: every claimed chunk must retire before we return (or rethrow) —
+  // fn and st stay valid for stragglers. While waiting, help drain the pool
+  // queue so nested parallel_for loops (and our own queued helpers) progress
+  // even when every worker is blocked in a wait like this one.
+  while (!st->complete()) {
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lk(st->m);
+    // Timed wait: a task enqueued between the try_run_one miss and this wait
+    // would otherwise be missed until a chunk retires.
+    st->done_cv.wait_for(lk, std::chrono::milliseconds(1),
+                         [&] { return st->complete(); });
   }
-  for (auto& f : futs) f.get();
+  if (st->error) std::rethrow_exception(st->error);
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool pool([] {
+    const std::size_t env = env_threads();
+    if (env > 0) return env;
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }());
   return pool;
 }
 
@@ -101,6 +241,17 @@ void ThreadPool::worker_loop() {
     }
     executed_counter().add();
   }
+}
+
+void parallel_for(const ParallelOptions& opts, std::size_t begin,
+                  std::size_t end, const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = resolve_threads(opts);
+  if (n <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, fn, opts.grain, n);
 }
 
 }  // namespace q2::par

@@ -1,6 +1,15 @@
 // Fixed-size worker pool with a shared task queue, plus a parallel_for
 // convenience. This is the repo's analogue of OpenMP worksharing: it backs
-// the CPE-cluster runtime and the rank-per-thread simulated MPI.
+// the CPE-cluster runtime, the rank-per-thread simulated MPI, and the
+// on-node hot loops (Pauli-term sweeps, parameter-shift gradients, DMET
+// fragment solves).
+//
+// parallel_for is nesting-safe: the calling thread claims chunks itself
+// (caller-runs) and, once the range is exhausted, helps drain the pool's
+// queue while waiting for in-flight chunks — so a worker that starts a
+// nested parallel_for makes progress instead of deadlocking, even on a
+// one-thread pool. If the body throws, every in-flight chunk finishes
+// before the first exception is rethrown on the caller.
 #pragma once
 
 #include <condition_variable>
@@ -10,6 +19,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "parallel/parallel_options.hpp"
 
 namespace q2::par {
 
@@ -27,15 +38,27 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [begin, end) across the pool and wait for completion.
+  /// The caller participates; safe to call from inside a pool task. If fn
+  /// throws, the first exception is rethrown here after all chunks retire
+  /// (remaining unclaimed iterations are abandoned).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1, std::size_t max_threads = 0);
 
-  /// Process-wide pool sized to the hardware; lazily constructed.
+  /// Pop and execute one queued task on the calling thread. Returns false if
+  /// the queue was empty. Used internally to help while waiting; exposed for
+  /// tests.
+  bool try_run_one();
+
+  /// Process-wide pool sized to Q2_THREADS (else the hardware); lazily
+  /// constructed.
   static ThreadPool& global();
 
  private:
+  struct LoopState;
+
   void worker_loop();
+  static void run_chunks(LoopState& st);
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
@@ -43,5 +66,12 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Options-driven entry point for the on-node hot loops: resolves the thread
+/// count (explicit > Q2_THREADS > pool size), runs fn(i) serially on the
+/// calling thread when it resolves to 1, and otherwise fans out on the global
+/// pool with at most that many concurrent claimants.
+void parallel_for(const ParallelOptions& opts, std::size_t begin,
+                  std::size_t end, const std::function<void(std::size_t)>& fn);
 
 }  // namespace q2::par

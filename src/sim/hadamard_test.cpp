@@ -29,10 +29,11 @@ pauli::PauliString z_ancilla(std::size_t n_total) {
 double hadamard_test_mps(const circ::Circuit& prep,
                          const std::vector<double>& params,
                          const pauli::PauliString& p,
-                         const MpsOptions& options) {
+                         const MpsOptions& options, double* truncation_error) {
   const circ::Circuit c = hadamard_test_circuit(prep, p);
   Mps mps(c.n_qubits(), options);
   mps.run(c, params);
+  if (truncation_error) *truncation_error = mps.truncation_error();
   return mps.expectation(z_ancilla(std::size_t(c.n_qubits()))).real();
 }
 

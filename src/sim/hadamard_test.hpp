@@ -16,11 +16,14 @@ namespace q2::sim {
 circ::Circuit hadamard_test_circuit(const circ::Circuit& prep,
                                     const pauli::PauliString& p);
 
-/// Runs the Hadamard test on the MPS engine; returns Re<psi|P|psi>.
+/// Runs the Hadamard test on the MPS engine; returns Re<psi|P|psi>. When
+/// `truncation_error` is non-null it receives the MPS truncation error
+/// accumulated by this circuit run (the fidelity column of run reports).
 double hadamard_test_mps(const circ::Circuit& prep,
                          const std::vector<double>& params,
                          const pauli::PauliString& p,
-                         const MpsOptions& options = {});
+                         const MpsOptions& options = {},
+                         double* truncation_error = nullptr);
 
 /// Same on the state-vector engine (the small-system oracle).
 double hadamard_test_statevector(const circ::Circuit& prep,

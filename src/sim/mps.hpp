@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "parallel/parallel_options.hpp"
 #include "pauli/qubit_operator.hpp"
 
 namespace q2::sim {
@@ -17,6 +18,11 @@ namespace q2::sim {
 struct MpsOptions {
   std::size_t max_bond = 64;   ///< D, the bond-dimension cap
   double svd_cutoff = 1e-12;   ///< drop singular values below cutoff * s_max
+  /// On-node parallelism for the drivers that consume these options (the
+  /// Pauli-term sweep and parameter-shift gradient in vqe::EnergyEvaluator).
+  /// One Mps instance itself stays single-threaded; only read-only
+  /// expectation sweeps over a shared state fan out.
+  par::ParallelOptions parallel;
 };
 
 /// Wall-clock split of the MPS hotspots, accumulated per engine instance

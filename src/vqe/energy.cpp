@@ -1,7 +1,11 @@
 #include "vqe/energy.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/hadamard_test.hpp"
 
 namespace q2::vqe {
@@ -32,6 +36,33 @@ circ::Circuit bind_parameters(const circ::Circuit& c,
     out.append(std::move(g));
   }
   return out;
+}
+
+// Runs eval_one(j) for every j in [0, n) — serially below the parallel
+// threshold, otherwise as one pool task per LPT bin (level-2 of the paper's
+// hierarchy, folded on-node). Results must be written to per-j slots by
+// eval_one; the caller reduces them in index order afterwards so the energy
+// is bit-identical for every thread count.
+void sweep_terms(const par::ParallelOptions& opts, std::size_t n,
+                 const std::function<double(std::size_t)>& term_cost,
+                 const std::function<void(std::size_t)>& eval_one) {
+  const std::size_t n_threads = std::min(par::resolve_threads(opts), n);
+  if (n_threads <= 1) {
+    for (std::size_t j = 0; j < n; ++j) eval_one(j);
+    return;
+  }
+  std::vector<double> costs(n);
+  for (std::size_t j = 0; j < n; ++j) costs[j] = term_cost(j);
+  const std::vector<std::size_t> assignment =
+      par::lpt_assign(costs, n_threads);
+  std::vector<std::vector<std::size_t>> bins(n_threads);
+  for (std::size_t j = 0; j < n; ++j) bins[assignment[j]].push_back(j);
+  par::ThreadPool::global().parallel_for(
+      0, n_threads,
+      [&](std::size_t b) {
+        for (std::size_t j : bins[b]) eval_one(j);
+      },
+      /*grain=*/1, /*max_threads=*/n_threads);
 }
 
 }  // namespace
@@ -104,7 +135,8 @@ std::vector<double> EnergyEvaluator::parameter_shift_gradient(
   std::vector<std::size_t> all(terms_.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
 
-  // Evaluate the energy with one occurrence's angle overridden.
+  // Evaluate the energy with one occurrence's angle overridden. Builds its
+  // own circuit and engine, so concurrent calls are independent.
   auto energy_with_override = [&](std::size_t occurrence, double delta) {
     circ::Circuit shifted(ansatz_.n_qubits());
     std::size_t seen = 0;
@@ -126,13 +158,25 @@ std::vector<double> EnergyEvaluator::parameter_shift_gradient(
     return e;
   };
 
-  std::size_t occurrence = 0;
-  for (const circ::Gate& g : ansatz_.gates()) {
-    if (!g.is_parametric()) continue;
-    const double ep = energy_with_override(occurrence, kPi / 2);
-    const double em = energy_with_override(occurrence, -kPi / 2);
-    grad[std::size_t(g.param_index)] += g.param_scale * 0.5 * (ep - em);
-    ++occurrence;
+  // Every shifted-circuit evaluation is independent: 2 per parametric-gate
+  // occurrence. Fan the 2N evaluations out, then chain-rule serially so each
+  // gradient entry is assembled in occurrence order (deterministic).
+  std::vector<const circ::Gate*> occurrences;
+  for (const circ::Gate& g : ansatz_.gates())
+    if (g.is_parametric()) occurrences.push_back(&g);
+  std::vector<double> shifted_e(2 * occurrences.size());
+  par::ParallelOptions opts = mps_options_.parallel;
+  opts.grain = 1;  // each evaluation is a full circuit run
+  par::parallel_for(opts, 0, shifted_e.size(), [&](std::size_t j) {
+    OBS_SPAN("vqe/shifted_circuit");
+    const std::size_t occ = j / 2;
+    const double delta = (j % 2 == 0) ? kPi / 2 : -kPi / 2;
+    shifted_e[j] = energy_with_override(occ, delta);
+  });
+  for (std::size_t occ = 0; occ < occurrences.size(); ++occ) {
+    const circ::Gate& g = *occurrences[occ];
+    grad[std::size_t(g.param_index)] +=
+        g.param_scale * 0.5 * (shifted_e[2 * occ] - shifted_e[2 * occ + 1]);
   }
   return grad;
 }
@@ -149,20 +193,35 @@ double EnergyEvaluator::measure_direct(const std::vector<double>& params,
   }
   last_truncation_error_.store(state.truncation_error(),
                                std::memory_order_relaxed);
-  double e = 0;
+  // Per-term contributions against the shared read-only state, reduced in
+  // index order below — the same addition sequence as a serial loop.
+  std::vector<double> contrib(idx.size());
   {
     OBS_SPAN("vqe/measure");
-    for (std::size_t k : idx)
-      e += (terms_[k].second * state.expectation(terms_[k].first)).real();
+    sweep_terms(
+        mps_options_.parallel, idx.size(),
+        [&](std::size_t j) {
+          const auto [lo, hi] = terms_[idx[j]].first.support_range();
+          return 1.0 + double(hi - lo + 1);
+        },
+        [&](std::size_t j) {
+          const std::size_t k = idx[j];
+          contrib[j] =
+              (terms_[k].second * state.expectation(terms_[k].first)).real();
+        });
   }
+  double e = 0;
+  for (double c : contrib) e += c;
   return e;
 }
 
 double EnergyEvaluator::measure_hadamard(
     const std::vector<double>& params,
     const std::vector<std::size_t>& idx) const {
-  double e = 0;
-  for (std::size_t k : idx) {
+  std::vector<double> contrib(idx.size());
+  std::vector<double> trunc(idx.size(), 0.0);
+  auto eval_one = [&](std::size_t j) {
+    const std::size_t k = idx[j];
     OBS_SPAN("vqe/pauli_circuit");
     double re;
     if (storage_ == CircuitStorage::kStoreAll) {
@@ -173,14 +232,28 @@ double EnergyEvaluator::measure_hadamard(
       pauli::PauliString z(std::size_t(bound.n_qubits()));
       z.set(std::size_t(bound.n_qubits()) - 1, pauli::P::Z);
       re = state.expectation(z).real();
-      last_truncation_error_.store(state.truncation_error(),
-                                   std::memory_order_relaxed);
+      trunc[j] = state.truncation_error();
     } else {
       re = sim::hadamard_test_mps(ansatz_, params, terms_[k].first,
-                                  mps_options_);
+                                  mps_options_, &trunc[j]);
     }
-    e += terms_[k].second.real() * re;
-  }
+    contrib[j] = terms_[k].second.real() * re;
+  };
+  // Every string is a full circuit run; costs still follow the support model.
+  sweep_terms(
+      mps_options_.parallel, idx.size(),
+      [&](std::size_t j) {
+        const auto [lo, hi] = terms_[idx[j]].first.support_range();
+        return 1.0 + double(hi - lo + 1);
+      },
+      eval_one);
+  // Worst truncation across the swept circuits — deterministic for any
+  // thread count, unlike "whichever circuit ran last".
+  double worst = 0.0;
+  for (double t : trunc) worst = std::max(worst, t);
+  last_truncation_error_.store(worst, std::memory_order_relaxed);
+  double e = 0;
+  for (double c : contrib) e += c;
   return e;
 }
 

@@ -55,10 +55,11 @@ class EnergyEvaluator {
   /// Per-term cost estimates (for LPT load balancing across ranks).
   std::vector<double> term_costs() const;
 
-  /// MPS truncation error accumulated by the most recent energy evaluation on
-  /// this thread's last-written state (best effort: the memory-efficient
-  /// Hadamard path does not expose it and leaves the previous value). Used by
-  /// run reports to attach a fidelity column to each VQE iteration.
+  /// MPS truncation error of the most recent energy evaluation: the prepared
+  /// state's accumulated error in direct mode, the worst error across the
+  /// swept per-string circuits in Hadamard-test mode (deterministic for any
+  /// thread count). Used by run reports to attach a fidelity column to each
+  /// VQE iteration.
   double last_truncation_error() const {
     return last_truncation_error_.load(std::memory_order_relaxed);
   }

@@ -103,6 +103,98 @@ TEST(Dmet, H6RingElectronCountMatches) {
   EXPECT_NEAR(r.fragment_electrons[0], 2.0, 1e-3);
 }
 
+// Scripted solver for exercising the chemical-potential loop: recovers mu
+// from the diagonal shift with_chemical_potential applied and reports a
+// prescribed electron count N(mu) per fragment. N must be increasing in mu.
+FragmentSolver make_scripted_solver(
+    const std::function<double(double)>& electrons_of_mu) {
+  return [electrons_of_mu](const EmbeddingProblem& prob,
+                           const chem::MoIntegrals& solver_mo) {
+    const std::size_t f0 = prob.fragment_orbitals.at(0);
+    const double mu = prob.solver.h(f0, f0) - solver_mo.h(f0, f0);
+    FragmentSolution sol;
+    sol.energy = -1.0;
+    sol.electrons = electrons_of_mu(mu);
+    return sol;
+  };
+}
+
+TEST(Dmet, MuBracketFailureIsReportedNotSilent) {
+  // Regression: the lo/hi bracket-expansion loops shared one `expansions`
+  // budget, so the hi side could borrow up to 12 doublings when lo used none
+  // — and a bracket that genuinely failed went silently into bisection. The
+  // root here sits at mu = 100: beyond each side's own 6-doubling budget
+  // (0.5 * 2^6 = 32) but within the old borrowed 12 (0.5 * 2^12 = 2048).
+  // Pre-PR code "converged" onto it; now the fit must be reported failed.
+  const chem::Molecule mol = chem::Molecule::h2(1.4);
+  DmetOptions opts;
+  opts.fragments = {{0}, {1}};  // two fragments so the mu fit engages
+  // Per fragment: N(mu) = 1 + (mu - 100)/2000, increasing, crosses 1 at 100.
+  const DmetResult r = run_dmet(mol, opts, make_scripted_solver([](double mu) {
+                                  return 1.0 + (mu - 100.0) / 2000.0;
+                                }));
+  EXPECT_FALSE(r.converged);
+  // 1 initial eval + 2 bracket endpoints + at most 6 hi expansions, and no
+  // bisection sweep on the invalid bracket.
+  EXPECT_LE(r.mu_iterations, 9);
+}
+
+TEST(Dmet, MuBracketWithinBudgetStillConverges) {
+  // Root at mu = 5 needs 4 hi doublings (0.5 * 2^4 = 8 >= 5) — inside the
+  // per-side budget, so the fit must succeed as before.
+  const chem::Molecule mol = chem::Molecule::h2(1.4);
+  DmetOptions opts;
+  opts.fragments = {{0}, {1}};
+  const DmetResult r = run_dmet(mol, opts, make_scripted_solver([](double mu) {
+                                  return 1.0 + (mu - 5.0) / 100.0;
+                                }));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.mu, 5.0, 0.01);
+  EXPECT_NEAR(r.total_electrons, 2.0, opts.electron_tolerance * 2);
+}
+
+TEST(Dmet, ParallelFragmentSolvesBitIdenticalToSerial) {
+  // Fragment solves fan out on the pool; per-fragment results land in their
+  // own slots and reduce in index order, so the total energy is exactly the
+  // serial one.
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
+  DmetOptions serial_opts;
+  serial_opts.fragments = uniform_atom_groups(4, 2);
+  serial_opts.parallel.n_threads = 1;
+  DmetOptions parallel_opts = serial_opts;
+  parallel_opts.parallel.n_threads = 4;
+
+  const DmetResult a = run_dmet(mol, serial_opts, make_fci_solver());
+  const DmetResult b = run_dmet(mol, parallel_opts, make_fci_solver());
+  EXPECT_EQ(a.energy, b.energy);  // byte-identical
+  EXPECT_EQ(a.mu, b.mu);
+  ASSERT_EQ(a.fragment_energies.size(), b.fragment_energies.size());
+  for (std::size_t f = 0; f < a.fragment_energies.size(); ++f)
+    EXPECT_EQ(a.fragment_energies[f], b.fragment_energies[f]);
+}
+
+TEST(Dmet, ParallelFragmentsWithVqeSolverNestsSafely) {
+  // The nesting acceptance case: fragment solves (outer parallel_for) invoke
+  // VQE whose term sweep is an inner parallel_for on the same pool. Must
+  // complete and match the serial nested result exactly.
+  const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
+  vqe::VqeOptions vqe_opts;
+  vqe_opts.optimizer.max_iterations = 2;
+
+  DmetOptions serial_opts;
+  serial_opts.fragments = uniform_atom_groups(4, 2);
+  serial_opts.fit_chemical_potential = false;  // one evaluate() is enough
+  serial_opts.parallel.n_threads = 1;
+  DmetOptions parallel_opts = serial_opts;
+  parallel_opts.parallel.n_threads = 4;
+
+  vqe_opts.mps.parallel.n_threads = 1;
+  const DmetResult a = run_dmet(mol, serial_opts, make_vqe_solver(vqe_opts));
+  vqe_opts.mps.parallel.n_threads = 2;
+  const DmetResult b = run_dmet(mol, parallel_opts, make_vqe_solver(vqe_opts));
+  EXPECT_EQ(a.energy, b.energy);
+}
+
 TEST(Dmet, VqeSolverMatchesFciSolverOnH2Fragments) {
   const chem::Molecule mol = chem::Molecule::hydrogen_ring(4, 1.8);
   DmetOptions opts;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
 #include "parallel/comm.hpp"
@@ -43,6 +44,136 @@ TEST(ThreadPool, PropagatesNothingOnDestruction) {
     pool.submit([] {}).get();
   }
   SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  // Regression: a throwing body used to rethrow from the first future while
+  // other workers still referenced the by-ref fn (dangling reference / UB).
+  // The exception must now surface only after every in-flight chunk retires.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 13) throw Error("boom at 13");
+                        }),
+      Error);
+  // The pool must stay fully usable afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWinsAndWorkStops) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(0, 100000, [&](std::size_t) {
+      executed.fetch_add(1);
+      throw Error("every iteration throws");
+    });
+    FAIL() << "expected an exception";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "every iteration throws");
+  }
+  // Unclaimed iterations are abandoned once an exception is recorded.
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ThreadPool, NestedParallelForCompletesOnOneThreadPool) {
+  // A worker (or caller) that hits a nested parallel_for must help run the
+  // inner chunks instead of blocking on an empty queue — the old pool
+  // deadlocked here.
+  ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 16,
+                      [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedParallelForFromSubmittedTask) {
+  // The fragment-solve shape: a submitted task starts its own parallel_for
+  // on the same pool while the submitter waits on the future.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < 4; ++t)
+    futs.push_back(pool.submit([&] {
+      pool.parallel_for(0, 32, [&](std::size_t) { total.fetch_add(1); });
+    }));
+  // Help drain while waiting: the submitting thread is outside the pool, so
+  // it must not starve workers that are themselves inside parallel_for.
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::milliseconds(0)) !=
+           std::future_status::ready)
+      pool.try_run_one();
+    f.get();
+  }
+  EXPECT_EQ(total.load(), 4 * 32);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) {
+      pool.parallel_for(0, 4, [&](std::size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPool, ExceptionInsideNestedParallelForPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(
+                                       0, 4, [&](std::size_t j) {
+                                         if (j == 2) throw Error("inner");
+                                       });
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, MaxThreadsCapsClaimants) {
+  // max_threads=1 means the caller runs every chunk itself; concurrent
+  // executions of the body must never exceed the cap.
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0}, peak{0};
+  pool.parallel_for(
+      0, 64,
+      [&](std::size_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        concurrent.fetch_sub(1);
+      },
+      1, /*max_threads=*/1);
+  EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(ParallelForOptions, SerialAndParallelCoverTheSameRange) {
+  ParallelOptions serial;
+  serial.n_threads = 1;
+  ParallelOptions wide;
+  wide.n_threads = 4;
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(serial, 0, 257, [&](std::size_t i) { hits[i].fetch_add(1); });
+  parallel_for(wide, 0, 257, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ParallelForOptions, DefaultThreadsOverrideApplies) {
+  // n_threads=0 resolves through the process default (the --threads= flag).
+  set_default_threads(1);
+  ParallelOptions opts;
+  EXPECT_EQ(resolve_threads(opts), 1u);
+  set_default_threads(3);
+  EXPECT_EQ(resolve_threads(opts), 3u);
+  set_default_threads(0);
+  EXPECT_GE(resolve_threads(opts), 1u);
 }
 
 TEST(Comm, BarrierAndRanks) {
@@ -182,6 +313,19 @@ TEST(Scheduler, SingleBinMakespanIsTotal) {
   std::vector<double> costs = {1, 2, 3};
   const Schedule s = lpt_schedule(costs, 1);
   EXPECT_DOUBLE_EQ(s.makespan, 6.0);
+}
+
+TEST(Scheduler, EqualCostsScheduleDeterministically) {
+  // Ties must break by task index (stable sort) and lowest bin index, so two
+  // calls — and therefore every rank of a distributed run — agree exactly.
+  std::vector<double> costs(23, 2.5);
+  const Schedule a = lpt_schedule(costs, 4);
+  const Schedule b = lpt_schedule(costs, 4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  // With identical costs, LPT in index order deals tasks round-robin.
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    EXPECT_EQ(a.assignment[i], i % 4) << "task " << i;
+  EXPECT_EQ(lpt_assign(costs, 4), a.assignment);
 }
 
 }  // namespace

@@ -190,6 +190,86 @@ TEST(Vqe, EnergyHistoryIsMonotoneWithLbfgs) {
     EXPECT_LE(r.history[i], r.history[i - 1] + 1e-9);
 }
 
+TEST(EnergyEvaluator, ParallelEnergyBitIdenticalToSerial_H4) {
+  // The parallel Pauli-term sweep reduces per-term contributions in index
+  // order, so the energy must match the serial sweep bit-for-bit — not just
+  // to tolerance — at any thread count.
+  const Solved s = solve(chem::Molecule::hydrogen_chain(4, 1.8));
+  const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(s.mo);
+  const UccsdAnsatz ansatz = build_uccsd(4, 2, 2);
+  const std::vector<double> params = initial_parameters(ansatz, 0.1);
+
+  sim::MpsOptions serial_mps;
+  serial_mps.parallel.n_threads = 1;
+  sim::MpsOptions parallel_mps;
+  parallel_mps.parallel.n_threads = 4;
+  const EnergyEvaluator serial(ansatz.circuit, h, serial_mps);
+  const EnergyEvaluator parallel(ansatz.circuit, h, parallel_mps);
+
+  const double e_serial = serial.energy(params);
+  const double e_parallel = parallel.energy(params);
+  EXPECT_EQ(e_serial, e_parallel);  // byte-identical, not EXPECT_NEAR
+}
+
+TEST(EnergyEvaluator, ParallelHadamardEnergyBitIdenticalToSerial) {
+  const Solved s = solve(chem::Molecule::h2(1.4));
+  const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(s.mo);
+  const UccsdAnsatz ansatz = build_uccsd(2, 1, 1);
+  const std::vector<double> params = initial_parameters(ansatz, 0.1);
+
+  sim::MpsOptions serial_mps;
+  serial_mps.parallel.n_threads = 1;
+  sim::MpsOptions parallel_mps;
+  parallel_mps.parallel.n_threads = 4;
+  const EnergyEvaluator serial(ansatz.circuit, h, serial_mps,
+                               MeasurementMode::kHadamardTest);
+  const EnergyEvaluator parallel(ansatz.circuit, h, parallel_mps,
+                                 MeasurementMode::kHadamardTest);
+  EXPECT_EQ(serial.energy(params), parallel.energy(params));
+}
+
+TEST(EnergyEvaluator, ParallelGradientBitIdenticalToSerial) {
+  // Each of the 2N shifted-circuit evaluations is independent; entries are
+  // chain-ruled in occurrence order regardless of which thread ran them.
+  const Solved s = solve(chem::Molecule::h2(1.4));
+  const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(s.mo);
+  const UccsdAnsatz ansatz = build_uccsd(2, 1, 1);
+  const std::vector<double> params = initial_parameters(ansatz, 0.15);
+
+  sim::MpsOptions serial_mps;
+  serial_mps.parallel.n_threads = 1;
+  sim::MpsOptions parallel_mps;
+  parallel_mps.parallel.n_threads = 4;
+  const EnergyEvaluator serial(ansatz.circuit, h, serial_mps);
+  const EnergyEvaluator parallel(ansatz.circuit, h, parallel_mps);
+
+  const std::vector<double> g1 = serial.parameter_shift_gradient(params);
+  const std::vector<double> g4 = parallel.parameter_shift_gradient(params);
+  ASSERT_EQ(g1.size(), g4.size());
+  for (std::size_t k = 0; k < g1.size(); ++k)
+    EXPECT_EQ(g1[k], g4[k]) << "param " << k;
+}
+
+TEST(EnergyEvaluator, HadamardMemoryEfficientReportsTruncationError) {
+  // Regression: the memory-efficient Hadamard path never updated
+  // last_truncation_error_, so JSONL reports carried a stale value. With a
+  // bond cap of 1 the test circuits must truncate, and the evaluator must
+  // say so.
+  const Solved s = solve(chem::Molecule::h2(1.4));
+  const pauli::QubitOperator h = chem::molecular_qubit_hamiltonian(s.mo);
+  const UccsdAnsatz ansatz = build_uccsd(2, 1, 1);
+  const std::vector<double> params = initial_parameters(ansatz, 0.15);
+
+  sim::MpsOptions tight;
+  tight.max_bond = 1;
+  const EnergyEvaluator eval(ansatz.circuit, h, tight,
+                             MeasurementMode::kHadamardTest,
+                             CircuitStorage::kMemoryEfficient);
+  EXPECT_EQ(eval.last_truncation_error(), 0.0);
+  eval.energy(params);
+  EXPECT_GT(eval.last_truncation_error(), 0.0);
+}
+
 TEST(Vqe, DistributedMatchesSerial) {
   const Solved s = solve(chem::Molecule::h2(1.4));
   VqeOptions opts;
