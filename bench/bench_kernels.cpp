@@ -1,12 +1,24 @@
 // Google-benchmark microbenchmarks of the numerical kernels every figure
 // rests on: complex GEMM, one-sided Jacobi SVD, the MPS two-site update and
 // Pauli-string expectation sweeps.
+//
+// `bench_kernels --json=BENCH_gemm.json` instead runs the GEMM sweep: packed
+// blocked kernel vs the naive reference across sizes and thread counts,
+// asserting the perf floor (blocked >= 3x naive single-threaded at
+// 512^3 complex; >= 2.5x scaling from 1 to 4 threads when the host has >= 4
+// cores) and writing the result trajectory via bench_util's BenchReport.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "bench_util.hpp"
 #include "circuit/builder.hpp"
 #include "common/rng.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/tensor.hpp"
 #include "sim/mps.hpp"
 
 namespace {
@@ -28,7 +40,33 @@ void BM_GemmComplex(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * int64_t(8 * n * n * n));
 }
-BENCHMARK(BM_GemmComplex)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmComplex)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmComplexThreaded(benchmark::State& state) {
+  const std::size_t n = 256;
+  const la::CMatrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  par::ParallelOptions opts;
+  opts.n_threads = std::size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        la::matmul(a, b, la::Op::kNone, la::Op::kNone, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(8 * n * n * n));
+}
+BENCHMARK(BM_GemmComplexThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TensorContractFused(benchmark::State& state) {
+  const std::size_t d = std::size_t(state.range(0));
+  Rng rng(6);
+  la::Tensor a({2 * d, 2, d});
+  la::Tensor b({d, 2, 2 * d});
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.complex_normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.complex_normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::contract(a, {2}, b, {0}));
+  }
+}
+BENCHMARK(BM_TensorContractFused)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_SvdGolubKahan(benchmark::State& state) {
   const std::size_t n = std::size_t(state.range(0));
@@ -80,6 +118,128 @@ void BM_MpsPauliExpectation(benchmark::State& state) {
 }
 BENCHMARK(BM_MpsPauliExpectation)->Arg(8)->Arg(16)->Arg(32);
 
+// --- GEMM sweep (--json=BENCH_gemm.json) -----------------------------------
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+int run_gemm_sweep(const std::string& report_name) {
+  bench::BenchReport report(report_name);
+  const unsigned cores = std::thread::hardware_concurrency();
+  report.set("hardware_threads", double(cores));
+  bool ok = true;
+
+  bench::header("GEMM sweep: packed blocked kernel vs naive reference");
+  bench::row({"size", "naive (s)", "blocked 1T (s)", "speedup", "2T (s)",
+              "4T (s)"});
+  double speedup_512 = 0, scaling_1_to_4 = 0;
+  for (const std::size_t n : {128u, 256u, 512u}) {
+    const la::CMatrix a = random_matrix(n, n, 11), b = random_matrix(n, n, 12);
+    const int reps = n <= 256 ? 3 : 1;
+
+    la::CMatrix c_naive;
+    const double t_naive =
+        time_best_of(reps, [&] { la::gemm_naive(a, b, c_naive); });
+
+    auto blocked_at = [&](std::size_t threads) {
+      par::ParallelOptions opts;
+      opts.n_threads = threads;
+      la::CMatrix c;
+      const double t = time_best_of(reps + 1, [&] {
+        c = la::matmul(a, b, la::Op::kNone, la::Op::kNone, opts);
+      });
+      return std::make_pair(t, std::move(c));
+    };
+    auto [t1, c1] = blocked_at(1);
+    auto [t2, c2] = blocked_at(2);
+    auto [t4, c4] = blocked_at(4);
+
+    // Self-validate: blocked agrees with naive, thread counts bit-identical.
+    double max_diff = 0;
+    for (std::size_t i = 0; i < c1.size(); ++i)
+      max_diff =
+          std::max(max_diff, std::abs(c1.data()[i] - c_naive.data()[i]));
+    if (max_diff > 1e-10 * double(n)) {
+      std::printf("FAIL: blocked/naive divergence %.3e at n=%zu\n", max_diff,
+                  n);
+      ok = false;
+    }
+    if (std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(cplx)) != 0 ||
+        std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(cplx)) != 0) {
+      std::printf("FAIL: thread counts not bit-identical at n=%zu\n", n);
+      ok = false;
+    }
+
+    bench::row({std::to_string(n), bench::fmte(t_naive), bench::fmte(t1),
+                bench::fmt(t_naive / t1, 2) + "x", bench::fmte(t2),
+                bench::fmte(t4)});
+    report.set("gemm_" + std::to_string(n) + "_naive_s", t_naive);
+    report.set("gemm_" + std::to_string(n) + "_blocked_1t_s", t1);
+    report.set("gemm_" + std::to_string(n) + "_blocked_2t_s", t2);
+    report.set("gemm_" + std::to_string(n) + "_blocked_4t_s", t4);
+    report.set("gemm_" + std::to_string(n) + "_gflops_1t",
+               8.0 * double(n) * double(n) * double(n) / t1 / 1e9);
+    if (n == 512u) {
+      speedup_512 = t_naive / t1;
+      scaling_1_to_4 = t1 / t4;
+    }
+  }
+  report.set("speedup_vs_naive_512", speedup_512);
+  report.set("scaling_1_to_4_threads_512", scaling_1_to_4);
+
+  // Perf floor assertions (the ISSUE acceptance bar).
+  std::printf(
+      "\n512^3 complex: blocked vs naive %.2fx (floor 3x), "
+      "1->4 thread scaling %.2fx (floor 2.5x on >= 4 cores)\n",
+      speedup_512, scaling_1_to_4);
+  if (speedup_512 < 3.0) {
+    std::printf("FAIL: single-thread speedup below the 3x floor\n");
+    ok = false;
+  }
+  if (cores >= 4) {
+    if (scaling_1_to_4 < 2.5) {
+      std::printf("FAIL: 1->4 thread scaling below the 2.5x floor\n");
+      ok = false;
+    }
+  } else {
+    std::printf(
+        "note: host has %u hardware thread(s); the 2.5x scaling floor is "
+        "only asserted on >= 4 cores\n",
+        cores);
+  }
+  report.set("perf_floor_ok", ok ? 1.0 : 0.0);
+  report.write();
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  q2::bench::init(argc, argv);
+  // A `--json=BENCH_<name>.json` flag switches to the asserting GEMM sweep,
+  // which records a perf-trajectory point via BenchReport.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      std::string name = arg.substr(7);
+      // BenchReport writes BENCH_<name>.json; accept either spelling.
+      if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
+      const std::size_t dot = name.rfind(".json");
+      if (dot != std::string::npos) name = name.substr(0, dot);
+      return run_gemm_sweep(name.empty() ? "gemm" : name);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
 
   bench::header("IV-B: blocked GEMM vs naive kernel (swBLAS analogue)");
   bench::row({"size", "blocked (s)", "naive (s)", "speedup"});
-  for (std::size_t n : {64u, 128u, 256u}) {
+  for (std::size_t n : {64u, 128u, 256u, 512u}) {
     la::CMatrix a(n, n), b(n, n);
     for (std::size_t i = 0; i < a.size(); ++i) {
       a.data()[i] = rng.complex_normal();
@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
     bench::row({std::to_string(n), bench::fmte(fast), bench::fmte(slow),
                 bench::fmt(slow / fast, 2) + "x"});
     if (n == 256u) report.set("gemm_speedup_256", slow / fast);
+    if (n == 512u) report.set("gemm_speedup_512", slow / fast);
     (void)c1;
   }
 

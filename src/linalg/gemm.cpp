@@ -1,88 +1,275 @@
 #include "linalg/gemm.hpp"
 
+#include <algorithm>
+#include <complex>
+#include <type_traits>
+
+#include "parallel/thread_pool.hpp"
+
 namespace q2::la {
 namespace {
 
-// i-k-j loop order keeps both B and C rows streaming for row-major storage;
-// blocking over k bounds the working set. This is the "optimized" kernel the
-// profile bench compares against gemm_naive.
-constexpr std::size_t kBlock = 64;
+// Register tile per element type. The complex kernel halves NR: a 4x4 cplx
+// accumulator is 32 doubles, which still fits the vector register file.
+template <typename T>
+struct Micro {
+  static constexpr std::size_t MR = GemmBlocking::kMR;
+  static constexpr std::size_t NR = GemmBlocking::kNR;
+};
+template <>
+struct Micro<cplx> {
+  static constexpr std::size_t MR = 4;
+  static constexpr std::size_t NR = 4;
+};
 
 template <typename T>
-void gemm_kernel(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
-                 Matrix<T>& c) {
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (beta == T{}) {
-    std::fill(c.data(), c.data() + c.size(), T{});
-  } else if (beta != T{1}) {
-    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
+T maybe_conj(T v, bool conj) {
+  if constexpr (std::is_same_v<T, cplx>) {
+    if (conj) return std::conj(v);
   }
-  for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::size_t k1 = std::min(k, k0 + kBlock);
-    for (std::size_t i = 0; i < m; ++i) {
-      const T* arow = a.row(i);
-      T* crow = c.row(i);
-      for (std::size_t p = k0; p < k1; ++p) {
-        const T aip = alpha * arow[p];
-        if (aip == T{}) continue;
-        const T* brow = b.row(p);
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
+  (void)conj;
+  return v;
+}
+
+// Read-only operand views the packing routines pull elements through; the
+// per-element branch cost lives in the O(mk)+O(kn) pack, never in the
+// O(mnk) kernel. OpView folds transpose/adjoint, OffsetView folds an
+// arbitrary axis permutation via precomputed row/column offset tables.
+template <typename T>
+struct OpView {
+  const T* data;
+  std::size_t ld;
+  bool trans;
+  bool conj;
+  T at(std::size_t i, std::size_t j) const {
+    return maybe_conj(trans ? data[j * ld + i] : data[i * ld + j], conj);
+  }
+};
+
+template <typename T>
+struct OffsetView {
+  const T* data;
+  const std::size_t* row_off;
+  const std::size_t* col_off;
+  T at(std::size_t i, std::size_t j) const {
+    return data[row_off[i] + col_off[j]];
+  }
+};
+
+constexpr std::size_t round_up(std::size_t x, std::size_t r) {
+  return (x + r - 1) / r * r;
+}
+
+// Pack an mc x kc block of op(A) (alpha folded in) into MR-row micro-panels,
+// zero-padded to a multiple of MR: buf[(ir/MR)*MR*kc + p*MR + i].
+template <typename T, class View>
+void pack_a(T* buf, const View& av, T alpha, std::size_t i0, std::size_t p0,
+            std::size_t mc, std::size_t kc) {
+  constexpr std::size_t MR = Micro<T>::MR;
+  for (std::size_t ir = 0; ir < mc; ir += MR) {
+    const std::size_t mr = std::min(MR, mc - ir);
+    for (std::size_t p = 0; p < kc; ++p) {
+      T* dst = buf + p * MR;
+      for (std::size_t i = 0; i < mr; ++i)
+        dst[i] = alpha * av.at(i0 + ir + i, p0 + p);
+      for (std::size_t i = mr; i < MR; ++i) dst[i] = T{};
+    }
+    buf += MR * kc;
+  }
+}
+
+// Pack a kc x nc block of op(B) into NR-column micro-panels, zero-padded:
+// buf[(jr/NR)*NR*kc + p*NR + j].
+template <typename T, class View>
+void pack_b(T* buf, const View& bv, std::size_t p0, std::size_t j0,
+            std::size_t kc, std::size_t nc) {
+  constexpr std::size_t NR = Micro<T>::NR;
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t nr = std::min(NR, nc - jr);
+    for (std::size_t p = 0; p < kc; ++p) {
+      T* dst = buf + p * NR;
+      for (std::size_t j = 0; j < nr; ++j)
+        dst[j] = bv.at(p0 + p, j0 + jr + j);
+      for (std::size_t j = nr; j < NR; ++j) dst[j] = T{};
+    }
+    buf += NR * kc;
+  }
+}
+
+// Register-tiled inner kernel: C[0..mr, 0..nr] += Apanel . Bpanel over kc.
+// The accumulator spans the full padded MR x NR tile so the hot loop has no
+// edge branches; the masked write-back trims the padding. Note there is
+// deliberately no zero-skip here: 0 * NaN and 0 * Inf must propagate exactly
+// as they do in the reference kernel.
+template <typename T>
+void micro_kernel(std::size_t kc, const T* ap, const T* bp, T* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  constexpr std::size_t MR = Micro<T>::MR;
+  constexpr std::size_t NR = Micro<T>::NR;
+  T acc[MR * NR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const T* a = ap + p * MR;
+    const T* b = bp + p * NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const T ai = a[i];
+      T* accrow = acc + i * NR;
+      for (std::size_t j = 0; j < NR; ++j) accrow[j] += ai * b[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i)
+    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i * NR + j];
+}
+
+// One mc x nc macro-tile of C: every micro-panel of the packed A block
+// against every micro-panel of the packed B panel.
+template <typename T>
+void macro_kernel(std::size_t mc, std::size_t kc, std::size_t nc,
+                  const T* abuf, const T* bbuf, T* c, std::size_t ldc) {
+  constexpr std::size_t MR = Micro<T>::MR;
+  constexpr std::size_t NR = Micro<T>::NR;
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t nr = std::min(NR, nc - jr);
+    const T* bp = bbuf + (jr / NR) * NR * kc;
+    for (std::size_t ir = 0; ir < mc; ir += MR) {
+      const std::size_t mr = std::min(MR, mc - ir);
+      const T* ap = abuf + (ir / MR) * MR * kc;
+      micro_kernel(kc, ap, bp, c + ir * ldc + jr, ldc, mr, nr);
+    }
+  }
+}
+
+// Blocked driver. beta is applied to C in one pass up front (beta == 0
+// overwrites, so stale values in an output buffer never leak through), then
+// the product accumulates k-blocks in a fixed order. Each (ic, jc) tile of C
+// belongs to exactly one parallel_for iteration and the pc loop is a barrier
+// between k-blocks, so the accumulation order — and hence the floating-point
+// result — is identical for every thread count.
+template <typename T, class ViewA, class ViewB>
+void gemm_blocked(std::size_t m, std::size_t k, std::size_t n, T alpha,
+                  const ViewA& av, const ViewB& bv, T beta, T* c,
+                  std::size_t ldc, const par::ParallelOptions& opts) {
+  if (beta == T{}) {
+    for (std::size_t i = 0; i < m; ++i)
+      std::fill(c + i * ldc, c + i * ldc + n, T{});
+  } else if (beta != T{1}) {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0) return;
+
+  constexpr std::size_t MR = Micro<T>::MR;
+  constexpr std::size_t NR = Micro<T>::NR;
+  constexpr std::size_t MC = GemmBlocking::kMC;
+  constexpr std::size_t KC = GemmBlocking::kKC;
+  constexpr std::size_t NC = GemmBlocking::kNC;
+
+  std::vector<T> bbuf;
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t nc = std::min(NC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kc = std::min(KC, k - pc);
+      bbuf.resize(round_up(nc, NR) * kc);
+      pack_b(bbuf.data(), bv, pc, jc, kc, nc);
+      const std::size_t n_tiles = (m + MC - 1) / MC;
+      par::ParallelOptions tile_opts = opts;
+      tile_opts.grain = 1;
+      par::parallel_for(tile_opts, 0, n_tiles, [&](std::size_t t) {
+        const std::size_t ic = t * MC;
+        const std::size_t mc = std::min(MC, m - ic);
+        std::vector<T> abuf(round_up(mc, MR) * kc);
+        pack_a(abuf.data(), av, alpha, ic, pc, mc, kc);
+        macro_kernel(mc, kc, nc, abuf.data(), bbuf.data(),
+                     c + ic * ldc + jc, ldc);
+      });
     }
   }
 }
 
 template <typename T>
-Matrix<T> apply_op(const Matrix<T>& a, Op op) {
-  switch (op) {
-    case Op::kNone:
-      return a;
-    case Op::kTrans:
-      return a.transposed();
-    case Op::kAdjoint:
-      return a.adjoint();
-  }
-  throw Error("gemm: bad Op");
-}
-
-template <typename T>
 void gemm_impl(T alpha, const Matrix<T>& a, Op op_a, const Matrix<T>& b,
-               Op op_b, T beta, Matrix<T>& c) {
-  // Materializing the transposed operand costs O(mn) against the O(mnk)
-  // product and keeps a single fast kernel; fine at the sizes we run.
-  const Matrix<T> at = (op_a == Op::kNone) ? Matrix<T>() : apply_op(a, op_a);
-  const Matrix<T> bt = (op_b == Op::kNone) ? Matrix<T>() : apply_op(b, op_b);
-  const Matrix<T>& ar = (op_a == Op::kNone) ? a : at;
-  const Matrix<T>& br = (op_b == Op::kNone) ? b : bt;
-  require(ar.cols() == br.rows(), "gemm: inner dimension mismatch");
-  if (c.empty() && beta == T{}) c = Matrix<T>(ar.rows(), br.cols());
-  require(c.rows() == ar.rows() && c.cols() == br.cols(),
-          "gemm: output shape mismatch");
-  gemm_kernel(alpha, ar, br, beta, c);
+               Op op_b, T beta, Matrix<T>& c,
+               const par::ParallelOptions& opts) {
+  const bool ta = op_a != Op::kNone, tb = op_b != Op::kNone;
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t ka = ta ? a.rows() : a.cols();
+  const std::size_t kb = tb ? b.cols() : b.rows();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  require(ka == kb, "gemm: inner dimension mismatch");
+  if (c.empty() && beta == T{}) c = Matrix<T>(m, n);
+  require(c.rows() == m && c.cols() == n, "gemm: output shape mismatch");
+
+  // In-place products (C aliasing A or B) copy the aliased operand, since
+  // the kernel interleaves C tile writes with A/B panel packing.
+  Matrix<T> a_copy, b_copy;
+  const Matrix<T>* pa = &a;
+  const Matrix<T>* pb = &b;
+  if (!c.empty() && !a.empty() && c.data() == a.data()) {
+    a_copy = a;
+    pa = &a_copy;
+  }
+  if (!c.empty() && !b.empty() && c.data() == b.data()) {
+    b_copy = b;
+    pb = &b_copy;
+  }
+
+  const OpView<T> av{pa->data(), pa->cols(), ta, op_a == Op::kAdjoint};
+  const OpView<T> bv{pb->data(), pb->cols(), tb, op_b == Op::kAdjoint};
+  gemm_blocked(m, ka, n, alpha, av, bv, beta, c.data(), c.cols(), opts);
 }
 
 }  // namespace
 
 void gemm(cplx alpha, const CMatrix& a, Op op_a, const CMatrix& b, Op op_b,
-          cplx beta, CMatrix& c) {
-  gemm_impl(alpha, a, op_a, b, op_b, beta, c);
+          cplx beta, CMatrix& c, const par::ParallelOptions& opts) {
+  gemm_impl(alpha, a, op_a, b, op_b, beta, c, opts);
 }
 
 void gemm(double alpha, const RMatrix& a, Op op_a, const RMatrix& b, Op op_b,
-          double beta, RMatrix& c) {
-  gemm_impl(alpha, a, op_a, b, op_b, beta, c);
+          double beta, RMatrix& c, const par::ParallelOptions& opts) {
+  gemm_impl(alpha, a, op_a, b, op_b, beta, c, opts);
 }
 
-CMatrix matmul(const CMatrix& a, const CMatrix& b, Op op_a, Op op_b) {
+CMatrix matmul(const CMatrix& a, const CMatrix& b, Op op_a, Op op_b,
+               const par::ParallelOptions& opts) {
   CMatrix c;
-  gemm(cplx{1}, a, op_a, b, op_b, cplx{0}, c);
+  gemm(cplx{1}, a, op_a, b, op_b, cplx{0}, c, opts);
   return c;
 }
 
-RMatrix matmul(const RMatrix& a, const RMatrix& b, Op op_a, Op op_b) {
+RMatrix matmul(const RMatrix& a, const RMatrix& b, Op op_a, Op op_b,
+               const par::ParallelOptions& opts) {
   RMatrix c;
-  gemm(1.0, a, op_a, b, op_b, 0.0, c);
+  gemm(1.0, a, op_a, b, op_b, 0.0, c, opts);
   return c;
+}
+
+CMatrix gemm_offsets(std::size_t m, std::size_t k, std::size_t n,
+                     const cplx* a_data,
+                     const std::vector<std::size_t>& a_row_off,
+                     const std::vector<std::size_t>& a_col_off,
+                     const cplx* b_data,
+                     const std::vector<std::size_t>& b_row_off,
+                     const std::vector<std::size_t>& b_col_off,
+                     const par::ParallelOptions& opts) {
+  require(a_row_off.size() == m && a_col_off.size() == k,
+          "gemm_offsets: A offset table size mismatch");
+  require(b_row_off.size() == k && b_col_off.size() == n,
+          "gemm_offsets: B offset table size mismatch");
+  CMatrix c(m, n);
+  const OffsetView<cplx> av{a_data, a_row_off.data(), a_col_off.data()};
+  const OffsetView<cplx> bv{b_data, b_row_off.data(), b_col_off.data()};
+  gemm_blocked(m, k, n, cplx{1}, av, bv, cplx{0}, c.data(), n, opts);
+  return c;
+}
+
+void gemm_tile(const cplx* a, std::size_t lda, const cplx* b, std::size_t ldb,
+               cplx* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n) {
+  const OpView<cplx> av{a, lda, false, false};
+  const OpView<cplx> bv{b, ldb, false, false};
+  par::ParallelOptions serial;
+  serial.n_threads = 1;
+  gemm_blocked(m, k, n, cplx{1}, av, bv, cplx{1}, c, ldc, serial);
 }
 
 std::vector<cplx> matvec(const CMatrix& a, const std::vector<cplx>& x) {

@@ -1,33 +1,85 @@
-// Blocked GEMM kernels — the swBLAS stand-in. Everything above (tensor
-// contraction, SVD, SCF) funnels matrix products through here, so this is the
-// single tuning point, exactly as swBLAS was for the paper.
+// Packed, cache-blocked GEMM micro-kernel substrate — the swBLAS stand-in.
+// Everything above (tensor contraction, SVD, SCF, the simulators) funnels
+// matrix products through here, so this is the single tuning point, exactly
+// as swBLAS was for the paper. The kernel follows the classic GotoBLAS/BLIS
+// decomposition: NC/KC/MC macro-blocking, A and B packed into MR- and
+// NR-wide micro-panels (transpose/adjoint folded into the packing step), and
+// a register-tiled MR x NR inner kernel. Macro-tiles of C are distributed
+// over the process ThreadPool; each tile is owned by exactly one task and
+// accumulated in a fixed k-order, so results are bit-identical for every
+// thread count.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "linalg/matrix.hpp"
+#include "parallel/parallel_options.hpp"
 
 namespace q2::la {
 
 enum class Op { kNone, kTrans, kAdjoint };
 
+/// Blocking parameters (exposed so the differential tests can sweep shapes
+/// that straddle every boundary). MR/NR are the register tile for double —
+/// the complex kernel narrows to a 4x4 tile internally; MC/KC size the
+/// packed A block; NC bounds the packed B panel.
+struct GemmBlocking {
+  static constexpr std::size_t kMR = 4;
+  static constexpr std::size_t kNR = 8;
+  static constexpr std::size_t kMC = 96;
+  static constexpr std::size_t kKC = 256;
+  static constexpr std::size_t kNC = 2048;
+};
+
 /// C = alpha * op(A) * op(B) + beta * C (shapes validated; C resized only if
-/// beta == 0 and C is empty).
+/// beta == 0 and C is empty). If C aliases A or B (same storage), the
+/// aliased operand is copied first, so in-place products are well defined.
+/// `opts` controls the fan-out over macro-tiles; the default runs on the
+/// global pool sizing rules (Q2_THREADS > pool size). Results are
+/// bit-identical for every thread count.
 void gemm(cplx alpha, const CMatrix& a, Op op_a, const CMatrix& b, Op op_b,
-          cplx beta, CMatrix& c);
+          cplx beta, CMatrix& c, const par::ParallelOptions& opts = {});
 void gemm(double alpha, const RMatrix& a, Op op_a, const RMatrix& b, Op op_b,
-          double beta, RMatrix& c);
+          double beta, RMatrix& c, const par::ParallelOptions& opts = {});
 
 /// Convenience: plain product op(A)*op(B).
 CMatrix matmul(const CMatrix& a, const CMatrix& b, Op op_a = Op::kNone,
-               Op op_b = Op::kNone);
+               Op op_b = Op::kNone, const par::ParallelOptions& opts = {});
 RMatrix matmul(const RMatrix& a, const RMatrix& b, Op op_a = Op::kNone,
-               Op op_b = Op::kNone);
+               Op op_b = Op::kNone, const par::ParallelOptions& opts = {});
+
+/// Fused-permutation product: the left operand's element (i, p) is
+/// a_data[a_row_off[i] + a_col_off[p]] and the right operand's element
+/// (p, j) is b_data[b_row_off[p] + b_col_off[j]]. Tensor contraction builds
+/// these offset tables from the (free, contracted) axis split of each
+/// operand, so micro-panels are packed straight out of the un-permuted
+/// tensor storage — the paper's "fused permutation and multiplication",
+/// with no intermediate permuted copy. Returns the m x n product.
+CMatrix gemm_offsets(std::size_t m, std::size_t k, std::size_t n,
+                     const cplx* a_data,
+                     const std::vector<std::size_t>& a_row_off,
+                     const std::vector<std::size_t>& a_col_off,
+                     const cplx* b_data,
+                     const std::vector<std::size_t>& b_row_off,
+                     const std::vector<std::size_t>& b_col_off,
+                     const par::ParallelOptions& opts = {});
+
+/// Accumulating tile product on raw row-major buffers: C += A * B with
+/// leading dimensions lda/ldb/ldc. Runs the packed micro-kernel serially on
+/// the calling thread; this is the in-LDM tile multiply shared with the CPE
+/// machine model (sw::gemm_cpe stages tiles, then calls this).
+void gemm_tile(const cplx* a, std::size_t lda, const cplx* b, std::size_t ldb,
+               cplx* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n);
 
 /// y = A x.
 std::vector<cplx> matvec(const CMatrix& a, const std::vector<cplx>& x);
 std::vector<double> matvec(const RMatrix& a, const std::vector<double>& x);
 
 /// Reference triple-loop kernel kept for the swBLAS-vs-LAPACK style
-/// comparison in bench_profile (paper §IV-B).
+/// comparison in bench_profile/bench_kernels (paper §IV-B) and as the
+/// differential-test oracle.
 void gemm_naive(const CMatrix& a, const CMatrix& b, CMatrix& c);
 
 }  // namespace q2::la

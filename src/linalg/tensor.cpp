@@ -112,6 +112,7 @@ namespace {
 
 struct ContractionPlan {
   std::vector<std::size_t> perm_a, perm_b;  // contracted axes moved to edge
+  std::vector<std::size_t> free_a, free_b;  // uncontracted axes, in order
   std::vector<std::size_t> out_shape;
   std::size_t m = 1, k = 1, n = 1;
 };
@@ -135,6 +136,7 @@ ContractionPlan plan_contraction(const Tensor& a,
   for (std::size_t i = 0; i < a.rank(); ++i)
     if (!used_a[i]) {
       p.perm_a.push_back(i);
+      p.free_a.push_back(i);
       p.out_shape.push_back(a.dim(i));
       p.m *= a.dim(i);
     }
@@ -143,23 +145,60 @@ ContractionPlan plan_contraction(const Tensor& a,
   for (std::size_t i = 0; i < b.rank(); ++i)
     if (!used_b[i]) {
       p.perm_b.push_back(i);
+      p.free_b.push_back(i);
       p.out_shape.push_back(b.dim(i));
       p.n *= b.dim(i);
     }
   return p;
 }
 
+// Flat storage offsets of a row-major odometer over the given axes of `t`:
+// entry j is the offset contributed by the j-th multi-index over
+// (dims(axes[0]), dims(axes[1]), ...). Because a row-major flat offset is
+// additive over axes, the offset of any tensor element splits into
+// row-table[free index] + col-table[contracted index] — which is exactly the
+// (i, p) -> storage map gemm_offsets packs micro-panels through.
+std::vector<std::size_t> offset_table(const Tensor& t,
+                                      const std::vector<std::size_t>& axes) {
+  const auto strides = row_major_strides(t.shape());
+  std::vector<std::size_t> dims(axes.size()), strd(axes.size());
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    dims[i] = t.dim(axes[i]);
+    strd[i] = strides[axes[i]];
+    total *= dims[i];
+  }
+  std::vector<std::size_t> out(total);
+  std::vector<std::size_t> idx(axes.size(), 0);
+  std::size_t off = 0;
+  for (std::size_t o = 0; o < total; ++o) {
+    out[o] = off;
+    for (std::size_t ax = axes.size(); ax-- > 0;) {
+      if (++idx[ax] < dims[ax]) {
+        off += strd[ax];
+        break;
+      }
+      off -= strd[ax] * (dims[ax] - 1);
+      idx[ax] = 0;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Tensor contract(const Tensor& a, const std::vector<std::size_t>& axes_a,
-                const Tensor& b, const std::vector<std::size_t>& axes_b) {
+                const Tensor& b, const std::vector<std::size_t>& axes_b,
+                const par::ParallelOptions& opts) {
   ContractionPlan p = plan_contraction(a, axes_a, b, axes_b);
-  // The permutation is fused into matrix packing: permuted() short-circuits
-  // identity permutations (the common adjacent-gate case), so data moves at
-  // most once before the blocked GEMM.
-  const CMatrix ma = a.permuted(p.perm_a).as_matrix(a.rank() - axes_a.size());
-  const CMatrix mb = b.permuted(p.perm_b).as_matrix(axes_b.size());
-  const CMatrix mc = matmul(ma, mb);
+  // Fused permutation and multiplication: instead of materializing permuted
+  // tensors, build the (free, contracted) offset tables for each operand and
+  // let the blocked GEMM pack its micro-panels directly from the original
+  // tensor storage in the permuted index order.
+  const CMatrix mc = gemm_offsets(
+      p.m, p.k, p.n, a.data(), offset_table(a, p.free_a),
+      offset_table(a, axes_a), b.data(), offset_table(b, axes_b),
+      offset_table(b, p.free_b), opts);
   if (p.out_shape.empty()) p.out_shape = {1};
   return Tensor::from_matrix(mc, p.out_shape);
 }

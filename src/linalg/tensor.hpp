@@ -1,12 +1,14 @@
 // Dense complex tensor of arbitrary rank with permutation and pairwise
-// contraction. Contraction is implemented as (permute -> GEMM -> permute),
-// with the index permutation fused into the GEMM packing step when possible —
-// the "fused permutation and multiplication technique" of the paper.
+// contraction. Contraction lowers to the packed blocked GEMM with the index
+// permutation folded into the micro-panel packing via offset tables — the
+// "fused permutation and multiplication technique" of the paper; no permuted
+// intermediate is ever materialized.
 #pragma once
 
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "parallel/parallel_options.hpp"
 
 namespace q2::la {
 
@@ -50,9 +52,13 @@ class Tensor {
 };
 
 /// Contract `axes_a` of `a` with `axes_b` of `b` (paired in order). The result
-/// carries the free axes of `a` followed by the free axes of `b`.
+/// carries the free axes of `a` followed by the free axes of `b`. The index
+/// permutation is fused into the GEMM packing step (no permuted copies);
+/// `opts` fans the blocked GEMM out over macro-tiles, with results
+/// bit-identical across thread counts.
 Tensor contract(const Tensor& a, const std::vector<std::size_t>& axes_a,
-                const Tensor& b, const std::vector<std::size_t>& axes_b);
+                const Tensor& b, const std::vector<std::size_t>& axes_b,
+                const par::ParallelOptions& opts = {});
 
 /// Unfused reference contraction (explicit permute copies, naive GEMM), kept
 /// as the baseline half of the fused-kernel ablation bench.

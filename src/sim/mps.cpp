@@ -176,7 +176,8 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
     std::copy(tensors_[n].begin(), tensors_[n].end(), bn.data());
     la::CMatrix bn1(dm, 2 * dr);
     std::copy(tensors_[n + 1].begin(), tensors_[n + 1].end(), bn1.data());
-    la::CMatrix t = la::matmul(bn, bn1);
+    la::CMatrix t = la::matmul(bn, bn1, la::Op::kNone, la::Op::kNone,
+                               options_.parallel);
 
     // Eq. (7) part 2: M[(a i), (j b)] = sum_{i' j'} O[(i j), (i' j')] T.
     for (std::size_t a = 0; a < dl; ++a) {
@@ -246,7 +247,8 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
   // the state at unit norm after truncation.
   {
     OBS_SPAN("mps/contract");
-    la::CMatrix bnew = la::matmul(mm, f.vh, la::Op::kNone, la::Op::kAdjoint);
+    la::CMatrix bnew = la::matmul(mm, f.vh, la::Op::kNone, la::Op::kAdjoint,
+                                  options_.parallel);
     tensors_[n].assign(dl * 2 * k, cplx{});
     for (std::size_t r = 0; r < dl * 2; ++r)
       for (std::size_t col = 0; col < k; ++col)

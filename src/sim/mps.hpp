@@ -18,10 +18,11 @@ namespace q2::sim {
 struct MpsOptions {
   std::size_t max_bond = 64;   ///< D, the bond-dimension cap
   double svd_cutoff = 1e-12;   ///< drop singular values below cutoff * s_max
-  /// On-node parallelism for the drivers that consume these options (the
-  /// Pauli-term sweep and parameter-shift gradient in vqe::EnergyEvaluator).
-  /// One Mps instance itself stays single-threaded; only read-only
-  /// expectation sweeps over a shared state fan out.
+  /// On-node parallelism, consumed at two levels: the drivers sitting on
+  /// these options (the Pauli-term sweep and parameter-shift gradient in
+  /// vqe::EnergyEvaluator) and the blocked GEMM inside the two-site update,
+  /// which fans out over C macro-tiles. Both are bit-identical across
+  /// thread counts, so parallel == serial exactly.
   par::ParallelOptions parallel;
 };
 

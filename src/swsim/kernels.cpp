@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/gemm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -59,15 +60,9 @@ la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
           ctx.dma_get(la_tile + i * kp, a.row(i0 + i) + p0, kp * sizeof(cplx));
         for (std::size_t p = 0; p < kp; ++p)
           ctx.dma_get(lb_tile + p * nj, b.row(p0 + p) + j0, nj * sizeof(cplx));
-        for (std::size_t i = 0; i < mi; ++i) {
-          for (std::size_t p = 0; p < kp; ++p) {
-            const cplx aip = la_tile[i * kp + p];
-            if (aip == cplx{}) continue;
-            const cplx* brow = lb_tile + p * nj;
-            cplx* crow = lc_tile + i * nj;
-            for (std::size_t j = 0; j < nj; ++j) crow[j] += aip * brow[j];
-          }
-        }
+        // In-LDM tile multiply through the shared packed micro-kernel (no
+        // zero-skip: 0 * NaN/Inf propagates exactly as in the host GEMM).
+        la::gemm_tile(la_tile, kp, lb_tile, nj, lc_tile, nj, mi, kp, nj);
       }
       for (std::size_t i = 0; i < mi; ++i)
         ctx.dma_put(c.row(i0 + i) + j0, lc_tile + i * nj, nj * sizeof(cplx));

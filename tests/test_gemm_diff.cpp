@@ -1,0 +1,226 @@
+// Differential/property harness for the packed blocked GEMM: seeded shape
+// sweeps (0, 1, primes, block-boundary straddlers) x Op combinations x
+// alpha/beta edge cases against the naive reference kernel, NaN/Inf
+// propagation (the zero-skip regression), aliasing, the offset-table and
+// raw-tile entry points, and the bit-identical-across-thread-counts
+// determinism contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "diff_util.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace q2::la {
+namespace {
+
+using diff::bit_identical;
+using diff::gemm_reference;
+using diff::max_abs_diff;
+using diff::random_cmatrix;
+using diff::random_rmatrix;
+
+constexpr Op kOps[] = {Op::kNone, Op::kTrans, Op::kAdjoint};
+
+// Dimensions chosen to straddle every kernel boundary: empty, single,
+// sub-register-tile primes, the MR/NR edges, the MC block edge, and sizes
+// with non-trivial remainders against MC=96 / KC=256.
+constexpr std::size_t kDims[] = {0, 1, 2, 3, 5, 7, 8, 9, 17, 31, 33, 64, 97};
+
+double tolerance(std::size_t k, double scale) {
+  return 1e-13 * double(k + 1) * std::max(1.0, scale);
+}
+
+TEST(GemmDiff, ComplexShapeOpSweepMatchesReference) {
+  Rng rng(101);
+  const cplx alphas[] = {cplx{1}, cplx{0}, cplx{-1}, cplx{0.3, -0.7}};
+  const cplx betas[] = {cplx{0}, cplx{1}, cplx{-0.5, 0.25}};
+  int cases = 0;
+  while (cases < 200) {
+    const std::size_t m = kDims[rng.index(std::size(kDims))];
+    const std::size_t k = kDims[rng.index(std::size(kDims))];
+    const std::size_t n = kDims[rng.index(std::size(kDims))];
+    const Op op_a = kOps[rng.index(3)], op_b = kOps[rng.index(3)];
+    const cplx alpha = alphas[rng.index(std::size(alphas))];
+    const cplx beta = betas[rng.index(std::size(betas))];
+
+    const CMatrix a = op_a == Op::kNone ? random_cmatrix(m, k, rng)
+                                        : random_cmatrix(k, m, rng);
+    const CMatrix b = op_b == Op::kNone ? random_cmatrix(k, n, rng)
+                                        : random_cmatrix(n, k, rng);
+    CMatrix c = random_cmatrix(m, n, rng);
+    CMatrix expected = c;
+    gemm_reference(alpha, a, op_a, b, op_b, beta, expected);
+    gemm(alpha, a, op_a, b, op_b, beta, c);
+    EXPECT_LE(max_abs_diff(c, expected), tolerance(k, expected.max_abs()))
+        << "m=" << m << " k=" << k << " n=" << n << " op_a=" << int(op_a)
+        << " op_b=" << int(op_b);
+    ++cases;
+  }
+}
+
+TEST(GemmDiff, RealShapeOpSweepMatchesReference) {
+  Rng rng(202);
+  const double alphas[] = {1.0, 0.0, -1.0, 0.37};
+  const double betas[] = {0.0, 1.0, -2.5};
+  for (int cases = 0; cases < 100; ++cases) {
+    const std::size_t m = kDims[rng.index(std::size(kDims))];
+    const std::size_t k = kDims[rng.index(std::size(kDims))];
+    const std::size_t n = kDims[rng.index(std::size(kDims))];
+    const Op op_a = kOps[rng.index(3)], op_b = kOps[rng.index(3)];
+    const double alpha = alphas[rng.index(std::size(alphas))];
+    const double beta = betas[rng.index(std::size(betas))];
+
+    const RMatrix a = op_a == Op::kNone ? random_rmatrix(m, k, rng)
+                                        : random_rmatrix(k, m, rng);
+    const RMatrix b = op_b == Op::kNone ? random_rmatrix(k, n, rng)
+                                        : random_rmatrix(n, k, rng);
+    RMatrix c = random_rmatrix(m, n, rng);
+    RMatrix expected = c;
+    gemm_reference(alpha, a, op_a, b, op_b, beta, expected);
+    gemm(alpha, a, op_a, b, op_b, beta, c);
+    EXPECT_LE(max_abs_diff(c, expected), tolerance(k, expected.max_abs()));
+  }
+}
+
+TEST(GemmDiff, LargerThanEveryBlockMatchesReference) {
+  Rng rng(303);
+  // 130 > MC=96, 270 > KC=256: exercises multi-block loops with remainders.
+  const CMatrix a = random_cmatrix(130, 270, rng);
+  const CMatrix b = random_cmatrix(270, 101, rng);
+  CMatrix c, expected;
+  gemm(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{0}, c);
+  gemm_reference(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{0}, expected);
+  EXPECT_LE(max_abs_diff(c, expected), tolerance(270, expected.max_abs()));
+}
+
+TEST(GemmDiff, ZeroInnerDimensionScalesCOnly) {
+  Rng rng(7);
+  CMatrix c = random_cmatrix(3, 4, rng);
+  const CMatrix c0 = c;
+  const CMatrix a(3, 0), b(0, 4);
+  gemm(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{2}, c);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_EQ(c.data()[i], cplx{2} * c0.data()[i]);
+}
+
+TEST(GemmDiff, BetaZeroOverwritesStaleNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  CMatrix c(2, 2, cplx{nan, nan});
+  const CMatrix a = CMatrix::identity(2), b = CMatrix::identity(2);
+  gemm(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{0}, c);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_FALSE(std::isnan(c.data()[i].real()));
+  EXPECT_EQ(c(0, 0), cplx{1});
+}
+
+// Regression for the old kernel's `aip == 0` row-skip: a zero row in A
+// against NaN/Inf in B silently produced 0 where IEEE (and the reference
+// kernel) give NaN. This test fails on the pre-packed kernel.
+TEST(GemmDiff, ZeroTimesNanPropagates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // Column 0 of A is all zero, so the old kernel's `aip == 0` skip never
+  // touches row 0 of B — where the NaN/Inf live. IEEE says every C entry is
+  // 0 * NaN (or 0 * Inf) + finite = NaN; the old kernel returned finite.
+  CMatrix a{{cplx{0}, cplx{1}}, {cplx{0}, cplx{2}}};
+  CMatrix b{{cplx{nan, 0}, cplx{inf, 0}}, {cplx{1}, cplx{1}}};
+  CMatrix c, expected;
+  gemm(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{0}, c);
+  diff::gemm_reference(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{0}, expected);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE(std::isnan(expected(i, j).real())) << i << "," << j;
+      EXPECT_TRUE(std::isnan(c(i, j).real())) << i << "," << j;
+    }
+}
+
+TEST(GemmDiff, AliasedOutputMatchesReference) {
+  Rng rng(404);
+  for (const std::size_t n : {4u, 33u, 97u}) {
+    const CMatrix a = random_cmatrix(n, n, rng);
+    const CMatrix b = random_cmatrix(n, n, rng);
+
+    CMatrix c1 = a;  // C aliases A
+    CMatrix e1 = a;
+    gemm_reference(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{0.5, 0}, e1);
+    gemm(cplx{1}, c1, Op::kNone, b, Op::kNone, cplx{0.5, 0}, c1);
+    EXPECT_LE(max_abs_diff(c1, e1), tolerance(n, e1.max_abs()));
+
+    CMatrix c2 = b;  // C aliases B
+    CMatrix e2 = b;
+    gemm_reference(cplx{1}, a, Op::kTrans, b, Op::kNone, cplx{1}, e2);
+    gemm(cplx{1}, a, Op::kTrans, c2, Op::kNone, cplx{1}, c2);
+    EXPECT_LE(max_abs_diff(c2, e2), tolerance(n, e2.max_abs()));
+  }
+}
+
+TEST(GemmDiff, GemmTileAccumulates) {
+  Rng rng(505);
+  const std::size_t m = 13, k = 21, n = 9;
+  const CMatrix a = random_cmatrix(m, k, rng);
+  const CMatrix b = random_cmatrix(k, n, rng);
+  CMatrix c = random_cmatrix(m, n, rng);
+  CMatrix expected = c;
+  gemm_reference(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{1}, expected);
+  gemm_tile(a.data(), k, b.data(), n, c.data(), n, m, k, n);
+  EXPECT_LE(max_abs_diff(c, expected), tolerance(k, expected.max_abs()));
+}
+
+TEST(GemmDiff, OffsetTablesReproducePlainProduct) {
+  Rng rng(606);
+  const std::size_t m = 37, k = 65, n = 18;
+  const CMatrix a = random_cmatrix(m, k, rng);
+  const CMatrix b = random_cmatrix(k, n, rng);
+  std::vector<std::size_t> a_roff(m), a_coff(k), b_roff(k), b_coff(n);
+  for (std::size_t i = 0; i < m; ++i) a_roff[i] = i * k;
+  for (std::size_t p = 0; p < k; ++p) a_coff[p] = p;
+  for (std::size_t p = 0; p < k; ++p) b_roff[p] = p * n;
+  for (std::size_t j = 0; j < n; ++j) b_coff[j] = j;
+  const CMatrix c =
+      gemm_offsets(m, k, n, a.data(), a_roff, a_coff, b.data(), b_roff, b_coff);
+  EXPECT_TRUE(bit_identical(c, matmul(a, b)));
+}
+
+// The determinism contract: for a fixed input, the result is bit-identical
+// at every thread count (1, 2, 8), including oversubscription of a small
+// pool. Run under `ctest -L concurrency` with Q2_SANITIZE=thread.
+TEST(GemmDiff, BitIdenticalAcrossThreadCounts) {
+  Rng rng(707);
+  const std::size_t sizes[][3] = {{7, 5, 3}, {97, 130, 64}, {200, 257, 33}};
+  for (const auto& s : sizes) {
+    const CMatrix a = random_cmatrix(s[0], s[1], rng);
+    const CMatrix b = random_cmatrix(s[1], s[2], rng);
+    CMatrix base;
+    {
+      par::ParallelOptions opts;
+      opts.n_threads = 1;
+      base = matmul(a, b, Op::kNone, Op::kNone, opts);
+    }
+    for (const std::size_t t : {2u, 8u}) {
+      par::ParallelOptions opts;
+      opts.n_threads = t;
+      const CMatrix c = matmul(a, b, Op::kNone, Op::kNone, opts);
+      EXPECT_TRUE(bit_identical(c, base)) << "threads=" << t;
+    }
+  }
+}
+
+TEST(GemmDiff, DefaultThreadResolutionBitIdentical) {
+  Rng rng(808);
+  const CMatrix a = random_cmatrix(150, 90, rng);
+  const CMatrix b = random_cmatrix(90, 110, rng);
+  CMatrix base;
+  {
+    diff::ScopedThreads one(1);
+    base = matmul(a, b);
+  }
+  for (const std::size_t t : {2u, 8u}) {
+    diff::ScopedThreads scoped(t);
+    EXPECT_TRUE(bit_identical(matmul(a, b), base)) << "threads=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace q2::la

@@ -1,0 +1,91 @@
+// Golden-value regression tests for the chemistry stack sitting on the GEMM
+// substrate: H2 and H4 RHF + UCCSD-VQE energies pinned to values captured
+// from this code base (tolerances recorded alongside), plus the determinism
+// contract that energies are bit-identical across thread counts.
+//
+// Tolerance notes: RHF and the LBFGS-driven VQE are fully deterministic, so
+// the pins are tight (1e-8 Ha for RHF, 1e-6 Ha for VQE, which additionally
+// leaves headroom for optimizer-iteration-count drift). Physical sanity is
+// asserted independently against FCI at 2e-3 Ha (chemical accuracy ~1.6e-3).
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/hamiltonian.hpp"
+#include "chem/scf.hpp"
+#include "vqe/vqe_driver.hpp"
+
+namespace q2 {
+namespace {
+
+struct Solved {
+  chem::ScfResult scf;
+  chem::MoIntegrals mo;
+};
+
+Solved solve(const chem::Molecule& mol) {
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  Solved s;
+  s.scf = chem::rhf(mol, basis, ints);
+  EXPECT_TRUE(s.scf.converged);
+  s.mo = chem::transform_to_mo(ints, s.scf.coefficients,
+                               s.scf.nuclear_repulsion);
+  return s;
+}
+
+// Captured goldens (Hartree), STO-3G. H2 at r = 1.4 bohr; H4 is the
+// equally-spaced chain at 1.8 bohr.
+constexpr double kH2RhfGolden = -1.1167143250625702;
+constexpr double kH2VqeGolden = -1.1372759436170532;
+constexpr double kH4RhfGolden = -2.1134288654645204;
+constexpr double kH4VqeGolden = -2.1753567523990416;
+constexpr double kRhfTol = 1e-8;
+constexpr double kVqeTol = 1e-6;
+
+TEST(GoldenEnergies, H2RhfAndUccsdVqe) {
+  const Solved s = solve(chem::Molecule::h2(1.4));
+  EXPECT_NEAR(s.scf.energy, kH2RhfGolden, kRhfTol);
+
+  vqe::VqeOptions opts;
+  opts.optimizer.max_iterations = 60;
+  const vqe::VqeResult v = vqe::run_vqe(s.mo, 1, 1, opts);
+  EXPECT_TRUE(v.converged);
+  EXPECT_NEAR(v.energy, kH2VqeGolden, kVqeTol);
+
+  const chem::FciResult fci = chem::fci_ground_state(s.mo, 1, 1);
+  EXPECT_NEAR(v.energy, fci.energy, 2e-3);
+  EXPECT_GE(v.energy, fci.energy - 1e-9);  // variational bound
+}
+
+TEST(GoldenEnergies, H4ChainRhfAndUccsdVqe) {
+  const Solved s = solve(chem::Molecule::hydrogen_chain(4, 1.8));
+  EXPECT_NEAR(s.scf.energy, kH4RhfGolden, kRhfTol);
+
+  vqe::VqeOptions opts;
+  opts.optimizer.max_iterations = 80;
+  const vqe::VqeResult v = vqe::run_vqe(s.mo, 2, 2, opts);
+  EXPECT_NEAR(v.energy, kH4VqeGolden, kVqeTol);
+
+  const chem::FciResult fci = chem::fci_ground_state(s.mo, 2, 2);
+  EXPECT_NEAR(v.energy, fci.energy, 2e-3);
+  EXPECT_GE(v.energy, fci.energy - 1e-9);
+}
+
+// Acceptance contract for the parallel GEMM + parallel energy sweeps: the
+// VQE energy is bit-identical (exact double equality) at 1, 2, and 8
+// threads. Runs under `ctest -L concurrency` for the sanitizer sweeps.
+TEST(GoldenEnergies, H2VqeEnergyBitIdenticalAcrossThreadCounts) {
+  const Solved s = solve(chem::Molecule::h2(1.4));
+  auto energy_at = [&](std::size_t threads) {
+    vqe::VqeOptions opts;
+    opts.optimizer.max_iterations = 30;
+    opts.mps.parallel.n_threads = threads;
+    return vqe::run_vqe(s.mo, 1, 1, opts).energy;
+  };
+  const double e1 = energy_at(1);
+  EXPECT_EQ(e1, energy_at(2));
+  EXPECT_EQ(e1, energy_at(8));
+}
+
+}  // namespace
+}  // namespace q2

@@ -2,6 +2,8 @@
 // fused path and the unfused reference implementation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "linalg/tensor.hpp"
 
@@ -104,6 +106,83 @@ TEST(Tensor, DimensionMismatchThrows) {
   EXPECT_THROW(contract(a, {1}, b, {0}), Error);
   EXPECT_THROW(contract(a, {0, 1}, b, {0}), Error);
   EXPECT_THROW(contract(a, {7}, b, {0}), Error);
+}
+
+// One random contraction instance: ranks 2-4, dims 1-5, a random number of
+// contracted axis pairs in a random axis order.
+struct RandomContraction {
+  Tensor a, b;
+  std::vector<std::size_t> axes_a, axes_b;
+};
+
+RandomContraction make_random_contraction(Rng& rng) {
+  RandomContraction rc;
+  const std::size_t rank_a = 2 + rng.index(3), rank_b = 2 + rng.index(3);
+  const std::size_t n_contracted = 1 + rng.index(std::min(rank_a, rank_b) - 1);
+
+  std::vector<std::size_t> shape_a(rank_a), shape_b(rank_b);
+  for (auto& d : shape_a) d = 1 + rng.index(5);
+  for (auto& d : shape_b) d = 1 + rng.index(5);
+
+  // Pick distinct axes on each side, in shuffled order, and force the paired
+  // dimensions to agree.
+  std::vector<std::size_t> all_a(rank_a), all_b(rank_b);
+  for (std::size_t i = 0; i < rank_a; ++i) all_a[i] = i;
+  for (std::size_t i = 0; i < rank_b; ++i) all_b[i] = i;
+  std::shuffle(all_a.begin(), all_a.end(), rng.engine());
+  std::shuffle(all_b.begin(), all_b.end(), rng.engine());
+  rc.axes_a.assign(all_a.begin(), all_a.begin() + n_contracted);
+  rc.axes_b.assign(all_b.begin(), all_b.begin() + n_contracted);
+  for (std::size_t i = 0; i < n_contracted; ++i)
+    shape_b[rc.axes_b[i]] = shape_a[rc.axes_a[i]];
+
+  rc.a = random_tensor(shape_a, rng);
+  rc.b = random_tensor(shape_b, rng);
+  return rc;
+}
+
+// Property test behind the fused-packing rewrite: 200 seeded random
+// shape/permutation instances, fused contract == unfused contract_reference.
+TEST(Tensor, ContractMatchesReferenceRandomSweep) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RandomContraction rc = make_random_contraction(rng);
+    const Tensor fast = contract(rc.a, rc.axes_a, rc.b, rc.axes_b);
+    const Tensor slow = contract_reference(rc.a, rc.axes_a, rc.b, rc.axes_b);
+    ASSERT_EQ(fast.shape(), slow.shape()) << "trial " << trial;
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      ASSERT_LT(std::abs(fast[i] - slow[i]), 1e-10) << "trial " << trial;
+  }
+}
+
+// The fused path fans out over the thread pool; results must be
+// bit-identical at 1, 2, and 8 threads (run under `ctest -L concurrency`).
+TEST(Tensor, ContractBitIdenticalAcrossThreadCounts) {
+  Rng rng(43);
+  const Tensor a = random_tensor({6, 5, 4, 3}, rng);
+  const Tensor b = random_tensor({4, 6, 7}, rng);
+  par::ParallelOptions serial;
+  serial.n_threads = 1;
+  const Tensor base = contract(a, {2, 0}, b, {0, 1}, serial);
+  for (const std::size_t t : {2u, 8u}) {
+    par::ParallelOptions opts;
+    opts.n_threads = t;
+    const Tensor c = contract(a, {2, 0}, b, {0, 1}, opts);
+    ASSERT_EQ(c.shape(), base.shape());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_EQ(c[i], base[i]) << "threads=" << t;
+  }
+}
+
+TEST(Tensor, ContractSizeOneAndDegenerateDims) {
+  Rng rng(44);
+  const Tensor a = random_tensor({1, 3, 1}, rng);
+  const Tensor b = random_tensor({3, 1, 2}, rng);
+  const Tensor c = contract(a, {1}, b, {0});
+  ASSERT_EQ(c.shape(), (std::vector<std::size_t>{1, 1, 1, 2}));
+  const Tensor ref = contract_reference(a, {1}, b, {0});
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_LT(std::abs(c[i] - ref[i]), 1e-12);
 }
 
 }  // namespace
