@@ -1,0 +1,97 @@
+// Checkpoint I/O throughput: snapshot encode + durable write (tmp/fsync/
+// rename) and read + validate (CRC per section) for MPS run states of
+// increasing bond dimension. The snapshot payload is the exported state of a
+// 12-qubit engine loaded from a random dense state vector, so the bytes grow
+// roughly with D^2 per site until the entanglement saturates the cap.
+//
+//   ./bench_ckpt [--json=BENCH_ckpt.json] [--trace=...] [--report=...]
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "ckpt/serialize.hpp"
+#include "ckpt/snapshot.hpp"
+#include "common/rng.hpp"
+#include "sim/mps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace q2;
+  bench::init(argc, argv);
+  // Accept --json=BENCH_<name>.json (same contract as bench_kernels); the
+  // report lands in BENCH_ckpt.json either way unless the flag renames it.
+  std::string report_name = "ckpt";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      const std::string path = arg.substr(7);
+      const std::size_t from = path.rfind("BENCH_");
+      const std::size_t to = path.rfind(".json");
+      if (from != std::string::npos && to != std::string::npos && from + 6 < to)
+        report_name = path.substr(from + 6, to - from - 6);
+    }
+  }
+  bench::BenchReport report(report_name);
+
+  constexpr int kQubits = 12;
+  constexpr int kReps = 20;
+  const std::string path = "bench_ckpt_snapshot.tmp";
+
+  // One random dense state, shared across bond dimensions so only the MPS
+  // truncation (and therefore the snapshot size) varies.
+  Rng rng(2022);
+  std::vector<cplx> amps = rng.complex_vector(std::size_t(1) << kQubits);
+  double nrm = 0;
+  for (const cplx& z : amps) nrm += std::norm(z);
+  nrm = std::sqrt(nrm);
+  for (cplx& z : amps) z /= nrm;
+
+  bench::header("Checkpoint snapshot throughput vs MPS bond dimension");
+  bench::row({"D", "bytes", "write (s)", "read (s)", "write MB/s",
+              "read MB/s"});
+
+  for (std::size_t bond : {8, 16, 32, 64}) {
+    sim::MpsOptions options;
+    options.max_bond = bond;
+    const sim::Mps mps = sim::Mps::from_statevector(kQubits, amps, options);
+
+    ckpt::ByteWriter w;
+    ckpt::write_mps(w, mps.export_state());
+    ckpt::Snapshot snap;
+    snap.set("mps", w.take());
+    const double bytes = double(snap.encoded_bytes());
+
+    Timer write_timer;
+    for (int r = 0; r < kReps; ++r) snap.write_file(path);
+    const double write_s = write_timer.seconds() / kReps;
+
+    Timer read_timer;
+    for (int r = 0; r < kReps; ++r) {
+      const auto back = ckpt::Snapshot::read_file(path);
+      if (!back) throw Error("bench_ckpt: snapshot failed validation");
+    }
+    const double read_s = read_timer.seconds() / kReps;
+
+    // Round trip sanity: the decoded state must rebuild the same engine.
+    {
+      const auto back = ckpt::Snapshot::read_file(path);
+      ckpt::ByteReader r(back->at("mps"));
+      const sim::Mps rebuilt = sim::Mps::import_state(ckpt::read_mps(r));
+      const double te_a = mps.truncation_error();
+      const double te_b = rebuilt.truncation_error();
+      if (rebuilt.max_bond_dimension() != mps.max_bond_dimension() ||
+          std::memcmp(&te_a, &te_b, sizeof(double)) != 0)
+        throw Error("bench_ckpt: round trip mismatch");
+    }
+
+    const double mb = bytes / (1024.0 * 1024.0);
+    bench::row({std::to_string(bond), std::to_string(std::size_t(bytes)),
+                bench::fmte(write_s), bench::fmte(read_s),
+                bench::fmt(mb / write_s, 1), bench::fmt(mb / read_s, 1)});
+    const std::string d = std::to_string(bond);
+    report.set("bytes_D" + d, bytes);
+    report.set("write_mb_s_D" + d, mb / write_s);
+    report.set("read_mb_s_D" + d, mb / read_s);
+  }
+  std::remove(path.c_str());
+  return 0;
+}

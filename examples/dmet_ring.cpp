@@ -4,11 +4,18 @@
 //
 //   ./dmet_ring [n_atoms] [bond_bohr] [--fci]
 //               [--trace=FILE] [--report=FILE] [--metrics=FILE]
+//               [--checkpoint=PATH [--checkpoint-every=N] [--resume]]
+//
+// --checkpoint= snapshots the chemical-potential loop every N µ-evaluations;
+// restart a killed run with --resume to continue the fit mid-bisection with
+// bit-identical final energies. Env: Q2_CHECKPOINT / Q2_CHECKPOINT_EVERY /
+// Q2_RESUME=1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "chem/fci.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "dmet/dmet_driver.hpp"
 #include "obs/obs.hpp"
 #include "parallel/parallel_options.hpp"
@@ -17,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace q2;
   obs::configure_from_args(argc, argv);
   par::configure_threads_from_args(argc, argv);
+  const ckpt::CheckpointOptions checkpoint = ckpt::options_from_args(argc, argv);
   int n = 6;
   double bond = 1.8;
   bool use_fci_solver = false;
@@ -39,6 +47,12 @@ int main(int argc, char** argv) {
   dmet::DmetOptions opts;
   opts.fragments = dmet::uniform_atom_groups(std::size_t(n), 2);
   opts.fit_chemical_potential = use_fci_solver;  // VQE run: mu = 0 by symmetry
+  opts.checkpoint = checkpoint;
+  if (checkpoint.enabled())
+    std::printf("Checkpointing µ-loop to %s.NNNNNN every %d evaluation(s)%s\n",
+                checkpoint.path.c_str(), checkpoint.every_n_iterations,
+                checkpoint.resume ? ", resuming if a valid snapshot exists"
+                                  : "");
 
   vqe::VqeOptions vqe_opts;
   vqe_opts.optimizer.max_iterations = 25;

@@ -1,0 +1,51 @@
+// Fault injection for the checkpoint layer. A FaultPlan rides inside
+// CheckpointOptions and is applied by CheckpointManager::save() — after the
+// snapshot is durable, mimicking a node that dies (or tears its last write)
+// right at the worst moment. Tests use it to prove the crash–resume
+// equivalence contract: kill a run at iteration N, resume from disk, and the
+// final energies must match the uninterrupted run bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace q2::ckpt {
+
+/// Thrown by CheckpointManager::save() when the plan says the process dies
+/// here. Deliberately NOT derived from q2::Error so domain catch blocks don't
+/// swallow an injected crash by accident.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(int iteration)
+      : std::runtime_error("ckpt: injected crash at iteration " +
+                           std::to_string(iteration)),
+        iteration_(iteration) {}
+  int iteration() const { return iteration_; }
+
+ private:
+  int iteration_;
+};
+
+struct FaultPlan {
+  enum class Corruption {
+    kNone,
+    kTruncate,  ///< cut the snapshot file to `truncate_to_bytes` (torn write)
+    kFlipByte,  ///< XOR the byte at `flip_byte_offset` with 0xFF (bit rot)
+  };
+
+  /// Throw InjectedCrash after the snapshot written at this iteration is
+  /// durable (and corrupted, if corruption is armed). -1 = never.
+  int crash_at_iteration = -1;
+  /// Corrupt the snapshot written at this iteration. -1 = never.
+  int corrupt_at_iteration = -1;
+  Corruption corruption = Corruption::kNone;
+  std::size_t truncate_to_bytes = 32;
+  std::size_t flip_byte_offset = 24;
+
+  bool armed() const {
+    return crash_at_iteration >= 0 || corrupt_at_iteration >= 0;
+  }
+};
+
+}  // namespace q2::ckpt

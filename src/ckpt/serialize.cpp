@@ -1,0 +1,158 @@
+#include "ckpt/serialize.hpp"
+
+namespace q2::ckpt {
+namespace {
+
+// Per-type tags guard against sections being decoded as the wrong type after
+// a format mix-up; bumping a tag is the cheap way to version one serializer.
+constexpr std::uint8_t kTagRMatrix = 0x11;
+constexpr std::uint8_t kTagCMatrix = 0x12;
+constexpr std::uint8_t kTagTensor = 0x13;
+constexpr std::uint8_t kTagRng = 0x14;
+constexpr std::uint8_t kTagMps = 0x15;
+constexpr std::uint8_t kTagOptimizer = 0x16;
+
+void expect_tag(ByteReader& r, std::uint8_t tag) {
+  require(r.u8() == tag, "ckpt: section type tag mismatch");
+}
+
+}  // namespace
+
+void write_matrix(ByteWriter& w, const la::RMatrix& m) {
+  w.u8(kTagRMatrix);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) w.f64(m.data()[i]);
+}
+
+la::RMatrix read_rmatrix(ByteReader& r) {
+  expect_tag(r, kTagRMatrix);
+  const std::size_t rows = std::size_t(r.u64());
+  const std::size_t cols = std::size_t(r.u64());
+  require(cols == 0 || rows <= r.remaining() / (8 * cols),
+          "ckpt: matrix larger than record");
+  la::RMatrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = r.f64();
+  return m;
+}
+
+void write_matrix(ByteWriter& w, const la::CMatrix& m) {
+  w.u8(kTagCMatrix);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) w.c128(m.data()[i]);
+}
+
+la::CMatrix read_cmatrix(ByteReader& r) {
+  expect_tag(r, kTagCMatrix);
+  const std::size_t rows = std::size_t(r.u64());
+  const std::size_t cols = std::size_t(r.u64());
+  require(cols == 0 || rows <= r.remaining() / (16 * cols),
+          "ckpt: matrix larger than record");
+  la::CMatrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = r.c128();
+  return m;
+}
+
+void write_tensor(ByteWriter& w, const la::Tensor& t) {
+  w.u8(kTagTensor);
+  w.vec(t.shape());
+  w.u64(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) w.c128(t.data()[i]);
+}
+
+la::Tensor read_tensor(ByteReader& r) {
+  expect_tag(r, kTagTensor);
+  const std::vector<std::size_t> shape = r.vec_u64();
+  const std::size_t n = std::size_t(r.u64());
+  std::size_t expected = 1;
+  for (std::size_t d : shape) expected *= d;
+  require(n == expected, "ckpt: tensor size does not match shape");
+  require(n <= r.remaining() / 16, "ckpt: tensor larger than record");
+  std::vector<cplx> data(n);
+  for (auto& z : data) z = r.c128();
+  return la::Tensor(shape, std::move(data));
+}
+
+void write_rng(ByteWriter& w, const Rng& rng) {
+  w.u8(kTagRng);
+  w.str(rng.state_string());
+}
+
+void read_rng(ByteReader& r, Rng& rng) {
+  expect_tag(r, kTagRng);
+  rng.set_state_string(r.str());
+}
+
+void write_mps(ByteWriter& w, const sim::MpsState& s) {
+  w.u8(kTagMps);
+  w.i32(s.n_qubits);
+  w.u64(s.max_bond);
+  w.f64(s.svd_cutoff);
+  // Canonical-form tag: 0 = right-canonical, center at site 0 (the only form
+  // the engine produces today; future mixed-canonical engines extend this).
+  w.u8(0);
+  w.vec(s.dl);
+  w.vec(s.dr);
+  w.vec(s.tensors);
+  w.vec(s.lambda);
+  w.f64(s.truncation_error);
+}
+
+sim::MpsState read_mps(ByteReader& r) {
+  expect_tag(r, kTagMps);
+  sim::MpsState s;
+  s.n_qubits = r.i32();
+  s.max_bond = std::size_t(r.u64());
+  s.svd_cutoff = r.f64();
+  require(r.u8() == 0, "ckpt: unknown MPS canonical form");
+  s.dl = r.vec_u64();
+  s.dr = r.vec_u64();
+  s.tensors = r.vec_vec_c128();
+  s.lambda = r.vec_vec_f64();
+  s.truncation_error = r.f64();
+  return s;
+}
+
+void write_optimizer_state(ByteWriter& w, const vqe::OptimizerState& s) {
+  w.u8(kTagOptimizer);
+  w.b(s.initialized);
+  w.b(s.finished);
+  w.b(s.converged);
+  w.i32(s.iteration);
+  w.f64(s.energy);
+  w.f64(s.e_prev);
+  w.vec(s.parameters);
+  w.vec(s.gradient);
+  w.vec(s.history);
+  w.vec(s.adam_m);
+  w.vec(s.adam_v);
+  w.vec(s.lbfgs_s);
+  w.vec(s.lbfgs_y);
+  w.vec(s.lbfgs_rho);
+}
+
+vqe::OptimizerState read_optimizer_state(ByteReader& r) {
+  expect_tag(r, kTagOptimizer);
+  vqe::OptimizerState s;
+  s.initialized = r.b();
+  s.finished = r.b();
+  s.converged = r.b();
+  s.iteration = r.i32();
+  s.energy = r.f64();
+  s.e_prev = r.f64();
+  s.parameters = r.vec_f64();
+  s.gradient = r.vec_f64();
+  s.history = r.vec_f64();
+  s.adam_m = r.vec_f64();
+  s.adam_v = r.vec_f64();
+  s.lbfgs_s = r.vec_vec_f64();
+  s.lbfgs_y = r.vec_vec_f64();
+  s.lbfgs_rho = r.vec_f64();
+  require(s.lbfgs_s.size() == s.lbfgs_y.size() &&
+              s.lbfgs_s.size() == s.lbfgs_rho.size(),
+          "ckpt: inconsistent L-BFGS curvature history");
+  return s;
+}
+
+}  // namespace q2::ckpt

@@ -1,0 +1,198 @@
+#include "ckpt/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#include "common/types.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace q2::ckpt {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'Q', '2',  'C',  'K',
+                                                'P', 'T', '\r', '\n'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+// Bounds-checked header reads; returns false instead of throwing because a
+// malformed file is an expected condition (fall back, don't abort).
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t pos = 0;
+
+  bool get_u32(std::uint32_t& v) {
+    if (n - pos < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[pos++]) << (8 * i);
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) {
+    if (n - pos < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[pos++]) << (8 * i);
+    return true;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+std::uint32_t crc32_update(std::uint32_t c, const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c;
+}
+
+// The per-section checksum covers the name bytes and the payload, so a
+// corrupted name (which would make a valid-looking snapshot unusable at
+// lookup time) is caught the same way as corrupted data.
+std::uint32_t section_crc(const std::string& name,
+                          const std::vector<std::uint8_t>& data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  c = crc32_update(c, name.data(), name.size());
+  c = crc32_update(c, data.data(), data.size());
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  return crc32_update(0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
+}
+
+void Snapshot::set(const std::string& name,
+                   std::vector<std::uint8_t> payload) {
+  for (auto& [n, data] : sections_)
+    if (n == name) {
+      data = std::move(payload);
+      return;
+    }
+  sections_.emplace_back(name, std::move(payload));
+}
+
+bool Snapshot::has(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const std::vector<std::uint8_t>* Snapshot::find(
+    const std::string& name) const {
+  for (const auto& [n, data] : sections_)
+    if (n == name) return &data;
+  return nullptr;
+}
+
+const std::vector<std::uint8_t>& Snapshot::at(const std::string& name) const {
+  const auto* data = find(name);
+  require(data != nullptr, "ckpt: snapshot missing a required section");
+  return *data;
+}
+
+std::size_t Snapshot::encoded_bytes() const {
+  std::size_t n = kMagic.size() + 8;  // magic + version + section count
+  for (const auto& [name, data] : sections_)
+    n += 4 + name.size() + 8 + 4 + data.size();
+  return n;
+}
+
+std::vector<std::uint8_t> Snapshot::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_bytes());
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, kFormatVersion);
+  put_u32(out, std::uint32_t(sections_.size()));
+  for (const auto& [name, data] : sections_) {
+    put_u32(out, std::uint32_t(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    put_u64(out, data.size());
+    put_u32(out, section_crc(name, data));
+    out.insert(out.end(), data.begin(), data.end());
+  }
+  return out;
+}
+
+std::optional<Snapshot> Snapshot::decode(const std::uint8_t* data,
+                                         std::size_t n) {
+  Cursor c{data, n};
+  if (n < kMagic.size()) return std::nullopt;
+  for (std::uint8_t b : kMagic)
+    if (data[c.pos++] != b) return std::nullopt;
+  std::uint32_t version = 0, count = 0;
+  if (!c.get_u32(version) || version != kFormatVersion) return std::nullopt;
+  if (!c.get_u32(count)) return std::nullopt;
+
+  Snapshot snap;
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::uint32_t name_len = 0, crc = 0;
+    std::uint64_t payload_len = 0;
+    if (!c.get_u32(name_len) || c.n - c.pos < name_len) return std::nullopt;
+    std::string name(reinterpret_cast<const char*>(c.p + c.pos), name_len);
+    c.pos += name_len;
+    if (!c.get_u64(payload_len) || !c.get_u32(crc)) return std::nullopt;
+    if (c.n - c.pos < payload_len) return std::nullopt;  // truncated
+    std::vector<std::uint8_t> payload(c.p + c.pos, c.p + c.pos + payload_len);
+    if (section_crc(name, payload) != crc) return std::nullopt;
+    snap.sections_.emplace_back(std::move(name), std::move(payload));
+    c.pos += payload_len;
+  }
+  if (c.pos != c.n) return std::nullopt;  // trailing garbage
+  return snap;
+}
+
+void Snapshot::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = encode();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  require(f != nullptr, "ckpt: cannot open snapshot tmp file for writing");
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!(wrote && synced && closed)) {
+    std::remove(tmp.c_str());
+    throw Error("ckpt: snapshot write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("ckpt: snapshot rename failed");
+  }
+}
+
+std::optional<Snapshot> Snapshot::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return decode(bytes.data(), bytes.size());
+}
+
+}  // namespace q2::ckpt

@@ -1,0 +1,62 @@
+// Versioned binary snapshot container: named sections, each protected by its
+// own CRC32, behind an 8-byte magic and a format version. Durability comes
+// from the classic atomic pattern — serialize to memory, write `<path>.tmp`,
+// fsync, rename over the final name — so a crash mid-write can never destroy
+// an existing good snapshot. Readers validate magic, version, bounds, and
+// every section CRC; any failure makes the whole file invalid (the rotation
+// layer then falls back to the previous snapshot).
+//
+// File layout (all integers little-endian):
+//   magic   8 bytes  "Q2CKPT\r\n"
+//   u32     format version (kFormatVersion)
+//   u32     section count
+//   per section:
+//     u32   name length, then name bytes
+//     u64   payload length
+//     u32   CRC32 over the name bytes followed by the payload bytes
+//     payload bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace q2::ckpt {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+class Snapshot {
+ public:
+  /// Adds or replaces a named section.
+  void set(const std::string& name, std::vector<std::uint8_t> payload);
+  bool has(const std::string& name) const;
+  /// nullptr when absent.
+  const std::vector<std::uint8_t>* find(const std::string& name) const;
+  /// Throws q2::Error when absent.
+  const std::vector<std::uint8_t>& at(const std::string& name) const;
+
+  std::size_t section_count() const { return sections_.size(); }
+  /// Total encoded size in bytes (header + all sections).
+  std::size_t encoded_bytes() const;
+
+  std::vector<std::uint8_t> encode() const;
+  /// nullopt on any validation failure (bad magic/version/bounds/CRC).
+  static std::optional<Snapshot> decode(const std::uint8_t* data,
+                                        std::size_t n);
+
+  /// Atomic durable write: tmp file + fsync + rename. Throws q2::Error on
+  /// I/O failure (a failed checkpoint must not silently pass).
+  void write_file(const std::string& path) const;
+  /// nullopt when the file is missing, unreadable, or fails validation.
+  static std::optional<Snapshot> read_file(const std::string& path);
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+};
+
+}  // namespace q2::ckpt

@@ -1,4 +1,19 @@
 #include "common/rng.hpp"
 
-// Header-only today; the TU anchors the module in the build so future
-// out-of-line additions (e.g. counter-based streams) have a home.
+#include <sstream>
+
+namespace q2 {
+
+std::string Rng::state_string() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::set_state_string(const std::string& s) {
+  std::istringstream is(s);
+  is >> engine_;
+  require(!is.fail(), "Rng::set_state_string: malformed engine state");
+}
+
+}  // namespace q2

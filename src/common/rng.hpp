@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -21,8 +22,11 @@ class Rng {
     return std::normal_distribution<double>(mean, stddev)(engine_);
   }
   cplx complex_normal() { return {normal(), normal()}; }
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n); returns 0 when n == 0. (The naive
+  /// uniform_int_distribution(0, n - 1) underflows to the full size_t range
+  /// on an empty domain — a real UB bug fixed with a regression test.)
   std::size_t index(std::size_t n) {
+    if (n == 0) return 0;
     return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
   }
 
@@ -33,6 +37,12 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Exact engine-state round trip for the checkpoint layer: the standard
+  /// guarantees operator<</>> on mt19937_64 restore the stream bit-for-bit,
+  /// so a resumed run draws the identical sequence.
+  std::string state_string() const;
+  void set_state_string(const std::string& s);
 
  private:
   std::mt19937_64 engine_;

@@ -1,10 +1,12 @@
 #include "dmet/dmet_driver.hpp"
 
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -180,6 +182,185 @@ Evaluation evaluate(const Prepared& prep, double mu,
   return ev;
 }
 
+// The chemical-potential loop as an explicit state machine. Each step
+// performs at most one µ-evaluation (one full fragment-solve sweep), and
+// everything step k+1 reads lives in MuLoopState, so the checkpoint layer can
+// persist the fit between any two sweeps and resume it bit-identically. The
+// evaluation order is exactly the historic control flow: initial µ=0 sweep,
+// bracket endpoints, per-side expansions, then bisection.
+struct MuLoopState {
+  enum Phase : int {
+    kInit = 0,
+    kEvalLo,
+    kEvalHi,
+    kExpandLo,
+    kExpandHi,
+    kBisect,
+    kDone,
+  };
+  int phase = kInit;
+  double mu = 0.0, lo = 0.0, hi = 0.0;
+  int mu_iterations = 0;  ///< µ-evaluations performed (global across resumes)
+  int cycle = 0;          ///< run-report cycle counter
+  int lo_expansions = 0, hi_expansions = 0, bisect_iterations = 0;
+  bool bracket_failed = false;
+  Evaluation ev, ev_lo, ev_hi;  ///< per-fragment solutions of the last sweeps
+};
+
+constexpr const char* kSnapshotKind = "dmet";
+
+void write_evaluation(ckpt::ByteWriter& w, const Evaluation& ev) {
+  w.f64(ev.energy);
+  w.f64(ev.electrons);
+  w.vec(ev.fragment_energies);
+  w.vec(ev.fragment_electrons);
+}
+
+Evaluation read_evaluation(ckpt::ByteReader& r) {
+  Evaluation ev;
+  ev.energy = r.f64();
+  ev.electrons = r.f64();
+  ev.fragment_energies = r.vec_f64();
+  ev.fragment_electrons = r.vec_f64();
+  return ev;
+}
+
+ckpt::Snapshot encode_dmet_snapshot(const MuLoopState& st,
+                                    std::size_t n_fragments) {
+  ckpt::Snapshot snap;
+  ckpt::ByteWriter meta;
+  meta.str(kSnapshotKind);
+  meta.u64(n_fragments);
+  snap.set("meta", meta.take());
+  ckpt::ByteWriter w;
+  w.i32(st.phase);
+  w.f64(st.mu);
+  w.f64(st.lo);
+  w.f64(st.hi);
+  w.i32(st.mu_iterations);
+  w.i32(st.cycle);
+  w.i32(st.lo_expansions);
+  w.i32(st.hi_expansions);
+  w.i32(st.bisect_iterations);
+  w.b(st.bracket_failed);
+  write_evaluation(w, st.ev);
+  write_evaluation(w, st.ev_lo);
+  write_evaluation(w, st.ev_hi);
+  snap.set("mu_loop", w.take());
+  return snap;
+}
+
+void decode_dmet_snapshot(const ckpt::Snapshot& snap, std::size_t n_fragments,
+                          MuLoopState& st) {
+  ckpt::ByteReader meta(snap.at("meta"));
+  require(meta.str() == kSnapshotKind,
+          "dmet: snapshot was not written by a DMET run");
+  require(meta.u64() == n_fragments,
+          "dmet: snapshot fragment count mismatch");
+  ckpt::ByteReader r(snap.at("mu_loop"));
+  st.phase = r.i32();
+  require(st.phase >= MuLoopState::kInit && st.phase <= MuLoopState::kDone,
+          "dmet: snapshot µ-loop phase out of range");
+  st.mu = r.f64();
+  st.lo = r.f64();
+  st.hi = r.f64();
+  st.mu_iterations = r.i32();
+  st.cycle = r.i32();
+  st.lo_expansions = r.i32();
+  st.hi_expansions = r.i32();
+  st.bisect_iterations = r.i32();
+  st.bracket_failed = r.b();
+  st.ev = read_evaluation(r);
+  st.ev_lo = read_evaluation(r);
+  st.ev_hi = read_evaluation(r);
+}
+
+// Advances the fit by one transition; returns true when a µ-evaluation was
+// performed (the checkpointable unit of work).
+template <typename EvalFn>
+bool mu_loop_step(MuLoopState& st, const Prepared& prep, double target,
+                  const DmetOptions& options, const EvalFn& eval) {
+  switch (st.phase) {
+    case MuLoopState::kInit:
+      st.mu = 0.0;
+      st.ev = eval(st.mu);
+      if (options.fit_chemical_potential &&
+          std::abs(st.ev.electrons - target) > options.electron_tolerance &&
+          prep.problems.size() > 1) {
+        // N(mu) is monotonically increasing; bracket the root, then bisect.
+        // Each side expands on its own budget — a hard lo search must not
+        // starve the hi search (or vice versa).
+        st.lo = -options.mu_bracket;
+        st.hi = options.mu_bracket;
+        st.phase = MuLoopState::kEvalLo;
+      } else {
+        st.phase = MuLoopState::kDone;
+      }
+      return true;
+    case MuLoopState::kEvalLo:
+      st.ev_lo = eval(st.lo);
+      st.phase = MuLoopState::kEvalHi;
+      return true;
+    case MuLoopState::kEvalHi:
+      st.ev_hi = eval(st.hi);
+      st.phase = MuLoopState::kExpandLo;
+      return true;
+    case MuLoopState::kExpandLo:
+      if (st.ev_lo.electrons > target &&
+          st.lo_expansions < options.max_bracket_expansions) {
+        st.lo *= 2.0;
+        st.ev_lo = eval(st.lo);
+        ++st.lo_expansions;
+        return true;
+      }
+      st.phase = MuLoopState::kExpandHi;
+      return false;
+    case MuLoopState::kExpandHi:
+      if (st.ev_hi.electrons < target &&
+          st.hi_expansions < options.max_bracket_expansions) {
+        st.hi *= 2.0;
+        st.ev_hi = eval(st.hi);
+        ++st.hi_expansions;
+        return true;
+      }
+      st.bracket_failed =
+          st.ev_lo.electrons > target || st.ev_hi.electrons < target;
+      if (st.bracket_failed) {
+        // Bisecting an invalid bracket can only walk toward the wrong
+        // endpoint; report the failure instead of burning max_mu_iterations
+        // solves.
+        log::warn("dmet: chemical-potential bracket failed in [" +
+                  std::to_string(st.lo) + ", " + std::to_string(st.hi) +
+                  "] (target " + std::to_string(target) + " electrons, N(lo)=" +
+                  std::to_string(st.ev_lo.electrons) + ", N(hi)=" +
+                  std::to_string(st.ev_hi.electrons) + "); result marked "
+                  "unconverged");
+        st.phase = MuLoopState::kDone;
+      } else {
+        st.phase = MuLoopState::kBisect;
+      }
+      return false;
+    case MuLoopState::kBisect:
+      if (st.bisect_iterations >= options.max_mu_iterations) {
+        st.phase = MuLoopState::kDone;
+        return false;
+      }
+      st.mu = 0.5 * (st.lo + st.hi);
+      st.ev = eval(st.mu);
+      ++st.bisect_iterations;
+      if (std::abs(st.ev.electrons - target) <= options.electron_tolerance)
+        st.phase = MuLoopState::kDone;
+      else if (st.ev.electrons < target)
+        st.lo = st.mu;
+      else
+        st.hi = st.mu;
+      return true;
+    case MuLoopState::kDone:
+      return false;
+  }
+  return false;
+}
+
 DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
                  const FragmentSolver& solver,
                  const std::function<bool(std::size_t)>& mine,
@@ -188,95 +369,66 @@ DmetResult drive(const chem::Molecule& molecule, const DmetOptions& options,
   const Prepared prep = prepare(molecule, options);
   const double target = double(molecule.n_electrons());
 
-  // Only one rank of a distributed run reports (all ranks see the same
-  // reduced values, so any single rank's records are complete).
+  // Only one rank of a distributed run reports or writes snapshots (all
+  // ranks see the same reduced values, so any single rank's records are
+  // complete); every rank loads the same snapshot on resume.
+  const bool primary = !comm || comm->rank() == 0;
   obs::RunReport& sink = obs::RunReport::global();
-  const bool reporting = sink.is_open() && (!comm || comm->rank() == 0);
-  int cycle = 0;
-  auto eval_at = [&](double mu_value) {
+  const bool reporting = sink.is_open() && primary;
+
+  MuLoopState st;
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+  if (options.checkpoint.enabled()) {
+    manager = std::make_unique<ckpt::CheckpointManager>(options.checkpoint,
+                                                        /*writer=*/primary);
+    if (const auto snap = manager->load_latest_valid())
+      decode_dmet_snapshot(*snap, prep.problems.size(), st);
+  }
+
+  auto eval = [&](double mu_value) {
     Evaluation ev = evaluate(prep, mu_value, solver, mine, comm, options);
     if (reporting)
       sink.record("dmet_cycle",
-                  {{"cycle", cycle},
+                  {{"cycle", st.cycle},
                    {"mu", mu_value},
                    {"energy", ev.energy},
                    {"electrons", ev.electrons},
                    {"residual", ev.electrons - target},
                    {"fragment_energies", ev.fragment_energies},
                    {"fragment_electrons", ev.fragment_electrons}});
-    ++cycle;
+    ++st.cycle;
+    ++st.mu_iterations;
     return ev;
   };
 
-  DmetResult result;
-  result.hf_energy = prep.hf_energy;
-
-  double mu = 0.0;
-  Evaluation ev = eval_at(mu);
-  result.mu_iterations = 1;
-
-  bool bracket_failed = false;
-  if (options.fit_chemical_potential &&
-      std::abs(ev.electrons - target) > options.electron_tolerance &&
-      prep.problems.size() > 1) {
-    // N(mu) is monotonically increasing; bracket the root, then bisect. Each
-    // side expands on its own budget — a hard lo search must not starve the
-    // hi search (or vice versa).
-    double lo = -options.mu_bracket, hi = options.mu_bracket;
-    Evaluation ev_lo = eval_at(lo);
-    Evaluation ev_hi = eval_at(hi);
-    result.mu_iterations += 2;
-    int lo_expansions = 0;
-    while (ev_lo.electrons > target &&
-           lo_expansions < options.max_bracket_expansions) {
-      lo *= 2.0;
-      ev_lo = eval_at(lo);
-      ++result.mu_iterations;
-      ++lo_expansions;
-    }
-    int hi_expansions = 0;
-    while (ev_hi.electrons < target &&
-           hi_expansions < options.max_bracket_expansions) {
-      hi *= 2.0;
-      ev_hi = eval_at(hi);
-      ++result.mu_iterations;
-      ++hi_expansions;
-    }
-    bracket_failed =
-        ev_lo.electrons > target || ev_hi.electrons < target;
-    if (bracket_failed) {
-      // Bisecting an invalid bracket can only walk toward the wrong endpoint;
-      // report the failure instead of burning max_mu_iterations solves.
-      log::warn("dmet: chemical-potential bracket failed in [" +
-                std::to_string(lo) + ", " + std::to_string(hi) +
-                "] (target " + std::to_string(target) + " electrons, N(lo)=" +
-                std::to_string(ev_lo.electrons) + ", N(hi)=" +
-                std::to_string(ev_hi.electrons) + "); result marked "
-                "unconverged");
-    } else {
-      for (int it = 0; it < options.max_mu_iterations; ++it) {
-        mu = 0.5 * (lo + hi);
-        ev = eval_at(mu);
-        ++result.mu_iterations;
-        if (std::abs(ev.electrons - target) <= options.electron_tolerance)
-          break;
-        if (ev.electrons < target)
-          lo = mu;
-        else
-          hi = mu;
-      }
+  while (st.phase != MuLoopState::kDone) {
+    const bool evaluated = mu_loop_step(st, prep, target, options, eval);
+    if (manager && evaluated && manager->due(st.mu_iterations, false)) {
+      OBS_SPAN("ckpt/save");
+      manager->save(st.mu_iterations,
+                    encode_dmet_snapshot(st, prep.problems.size()));
     }
   }
+  if (manager) {
+    // Terminal snapshot: a rerun resumes to the finished state instead of
+    // recomputing the fit.
+    OBS_SPAN("ckpt/save");
+    manager->save(st.mu_iterations,
+                  encode_dmet_snapshot(st, prep.problems.size()));
+  }
 
+  DmetResult result;
+  result.hf_energy = prep.hf_energy;
+  result.mu_iterations = st.mu_iterations;
   result.converged =
-      !bracket_failed &&
-      (std::abs(ev.electrons - target) <= options.electron_tolerance ||
+      !st.bracket_failed &&
+      (std::abs(st.ev.electrons - target) <= options.electron_tolerance ||
        !options.fit_chemical_potential || prep.problems.size() == 1);
-  result.mu = mu;
-  result.total_electrons = ev.electrons;
-  result.fragment_energies = ev.fragment_energies;
-  result.fragment_electrons = ev.fragment_electrons;
-  result.energy = ev.energy + molecule.nuclear_repulsion();
+  result.mu = st.mu;
+  result.total_electrons = st.ev.electrons;
+  result.fragment_energies = st.ev.fragment_energies;
+  result.fragment_electrons = st.ev.fragment_electrons;
+  result.energy = st.ev.energy + molecule.nuclear_repulsion();
   if (reporting)
     sink.record("dmet_result", {{"converged", result.converged},
                                 {"energy", result.energy},

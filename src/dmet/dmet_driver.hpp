@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "chem/molecule.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "dmet/embedding.hpp"
 #include "parallel/comm.hpp"
 #include "vqe/vqe_driver.hpp"
@@ -49,6 +50,15 @@ struct DmetOptions {
   /// the paper's hierarchy, folded onto the shared-memory pool). Fragment
   /// solves nest VQE term sweeps; the pool is nesting-safe.
   par::ParallelOptions parallel;
+  /// Durable snapshot/resume of the chemical-potential loop (src/ckpt). A
+  /// snapshot is written every `every_n_iterations` µ-evaluations and holds
+  /// the bracket, iteration/cycle counters and the per-fragment solutions of
+  /// the last sweep; an interrupted run restarted with the same options
+  /// resumes mid-fit with bit-identical final energies. Leave the fragment
+  /// solver's own VqeOptions::checkpoint disabled — concurrent fragment
+  /// solves would fight over one snapshot family; DMET checkpoints at
+  /// µ-loop granularity instead.
+  ckpt::CheckpointOptions checkpoint;
 };
 
 struct DmetResult {

@@ -37,6 +37,21 @@ struct MpsProfile {
   std::size_t gates_applied = 0;
 };
 
+/// Complete serializable simulator state, produced/consumed by the checkpoint
+/// layer (src/ckpt). The engine is kept right-canonical throughout, so the
+/// canonical center is implicitly site 0; the checkpoint record still carries
+/// a canonical-form tag so future mixed-canonical engines can evolve the
+/// format without breaking old snapshots.
+struct MpsState {
+  int n_qubits = 0;
+  std::size_t max_bond = 0;
+  double svd_cutoff = 0.0;
+  std::vector<std::vector<cplx>> tensors;   ///< site tensors, (dl, 2, dr) each
+  std::vector<std::size_t> dl, dr;          ///< per-site bond dimensions
+  std::vector<std::vector<double>> lambda;  ///< Schmidt vectors per bond
+  double truncation_error = 0.0;            ///< accumulated truncation error
+};
+
 class Mps {
  public:
   /// |0...0> on n qubits (product state, all bonds trivial).
@@ -73,6 +88,14 @@ class Mps {
 
   /// Contract everything (n <= ~24) — the test oracle path.
   std::vector<cplx> to_statevector() const;
+
+  /// Snapshot of the full simulator state (tensors, bonds, Schmidt vectors,
+  /// truncation accounting) for the checkpoint layer.
+  MpsState export_state() const;
+  /// Rebuilds an engine from an exported state; `parallel` is runtime
+  /// configuration and intentionally not part of the persisted state.
+  static Mps import_state(const MpsState& state,
+                          const par::ParallelOptions& parallel = {});
 
  private:
   void apply_single(int site, const std::array<cplx, 4>& m);

@@ -1,12 +1,13 @@
 #include "vqe/optimizer.hpp"
 
 #include <cmath>
-#include <deque>
 
 #include "common/types.hpp"
 
 namespace q2::vqe {
 namespace {
+
+constexpr std::size_t kLbfgsMemory = 10;
 
 double nrm2(const std::vector<double>& v) {
   double s = 0;
@@ -20,177 +21,259 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
   return s;
 }
 
+OptimizerResult result_from(const OptimizerState& state) {
+  OptimizerResult r;
+  r.converged = state.converged;
+  r.iterations = state.iteration;
+  r.parameters = state.parameters;
+  r.history = state.history;
+  r.energy = state.history.empty() ? state.energy : state.history.back();
+  return r;
+}
+
+// Fires the per-iteration observers in a fixed order: telemetry first, then
+// the (possibly throwing) checkpoint hook.
+void notify(const OptimizerOptions& options, const OptimizerState& state,
+            int it, double e, double gnorm, bool report_iteration) {
+  if (report_iteration && options.iteration_observer)
+    options.iteration_observer(it, e, gnorm);
+  if (options.state_observer) options.state_observer(state);
+}
+
+// ---- Adam ------------------------------------------------------------------
+
+void init_adam(const EnergyFn& f, OptimizerState& state) {
+  const std::size_t n = state.parameters.size();
+  state.adam_m.assign(n, 0.0);
+  state.adam_v.assign(n, 0.0);
+  state.energy = f(state.parameters);
+  state.e_prev = state.energy;
+  state.history.assign(1, state.energy);
+  state.initialized = true;
+}
+
+void step_adam(const EnergyFn& f, const GradientFn& grad,
+               OptimizerState& state, const OptimizerOptions& options) {
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  const std::size_t n = state.parameters.size();
+  const int it = ++state.iteration;
+
+  const std::vector<double> g = grad(state.parameters);
+  const double gnorm = nrm2(g);
+  if (gnorm < options.gradient_tolerance) {
+    state.converged = state.finished = true;
+    notify(options, state, it, state.energy, gnorm, false);
+    return;
+  }
+  // Bias correction uses the *global* iteration count, so a resumed run
+  // applies the same effective step sizes as an uninterrupted one.
+  for (std::size_t i = 0; i < n; ++i) {
+    state.adam_m[i] = kBeta1 * state.adam_m[i] + (1 - kBeta1) * g[i];
+    state.adam_v[i] = kBeta2 * state.adam_v[i] + (1 - kBeta2) * g[i] * g[i];
+    const double mh = state.adam_m[i] / (1 - std::pow(kBeta1, it));
+    const double vh = state.adam_v[i] / (1 - std::pow(kBeta2, it));
+    state.parameters[i] -=
+        options.learning_rate * mh / (std::sqrt(vh) + kEps);
+  }
+  const double e = f(state.parameters);
+  state.history.push_back(e);
+  if (std::abs(e - state.e_prev) < options.energy_tolerance)
+    state.converged = state.finished = true;
+  state.e_prev = e;
+  state.energy = e;
+  if (it >= options.max_iterations) state.finished = true;
+  notify(options, state, it, e, gnorm, true);
+}
+
+// ---- L-BFGS ----------------------------------------------------------------
+
+void init_lbfgs(const EnergyFn& f, const GradientFn& grad,
+                OptimizerState& state) {
+  state.energy = f(state.parameters);
+  state.gradient = grad(state.parameters);
+  state.history.assign(1, state.energy);
+  state.initialized = true;
+}
+
+void step_lbfgs(const EnergyFn& f, const GradientFn& grad,
+                OptimizerState& state, const OptimizerOptions& options) {
+  const std::size_t n = state.parameters.size();
+  const int it = ++state.iteration;
+
+  if (nrm2(state.gradient) < options.gradient_tolerance) {
+    state.converged = state.finished = true;
+    notify(options, state, it, state.energy, nrm2(state.gradient), false);
+    return;
+  }
+
+  // Two-loop recursion for the search direction d = -H g.
+  const std::vector<double>& g = state.gradient;
+  std::vector<double> q = g;
+  std::vector<double> alpha(state.lbfgs_s.size());
+  for (std::size_t i = state.lbfgs_s.size(); i-- > 0;) {
+    alpha[i] = state.lbfgs_rho[i] * dot(state.lbfgs_s[i], q);
+    for (std::size_t k = 0; k < n; ++k) q[k] -= alpha[i] * state.lbfgs_y[i][k];
+  }
+  double gamma = 1.0;
+  if (!state.lbfgs_s.empty()) {
+    const auto& s = state.lbfgs_s.back();
+    const auto& y = state.lbfgs_y.back();
+    const double yy = dot(y, y);
+    if (yy > 0) gamma = dot(s, y) / yy;
+  }
+  for (auto& x : q) x *= gamma;
+  for (std::size_t i = 0; i < state.lbfgs_s.size(); ++i) {
+    const double beta = state.lbfgs_rho[i] * dot(state.lbfgs_y[i], q);
+    for (std::size_t k = 0; k < n; ++k)
+      q[k] += (alpha[i] - beta) * state.lbfgs_s[i][k];
+  }
+  std::vector<double> d(n);
+  for (std::size_t k = 0; k < n; ++k) d[k] = -q[k];
+
+  // Backtracking Armijo line search.
+  double step = 1.0;
+  const double slope = dot(g, d);
+  if (slope >= 0) {
+    // Direction lost descent; reset to steepest descent.
+    for (std::size_t k = 0; k < n; ++k) d[k] = -g[k];
+    state.lbfgs_s.clear();
+    state.lbfgs_y.clear();
+    state.lbfgs_rho.clear();
+    step = options.learning_rate;
+  }
+  std::vector<double> x_new(n);
+  double e_new = state.energy;
+  for (int ls = 0; ls < 40; ++ls) {
+    for (std::size_t k = 0; k < n; ++k)
+      x_new[k] = state.parameters[k] + step * d[k];
+    e_new = f(x_new);
+    if (e_new <= state.energy + 1e-4 * step * dot(g, d)) break;
+    step *= 0.5;
+  }
+
+  const std::vector<double> g_new = grad(x_new);
+  std::vector<double> s(n), y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    s[k] = x_new[k] - state.parameters[k];
+    y[k] = g_new[k] - g[k];
+  }
+  const double sy = dot(s, y);
+  if (sy > 1e-12) {
+    state.lbfgs_s.push_back(std::move(s));
+    state.lbfgs_y.push_back(std::move(y));
+    state.lbfgs_rho.push_back(1.0 / sy);
+    if (state.lbfgs_s.size() > kLbfgsMemory) {
+      state.lbfgs_s.erase(state.lbfgs_s.begin());
+      state.lbfgs_y.erase(state.lbfgs_y.begin());
+      state.lbfgs_rho.erase(state.lbfgs_rho.begin());
+    }
+  }
+
+  const double e_prev = state.energy;
+  state.parameters = x_new;
+  state.gradient = g_new;
+  state.energy = e_new;
+  state.e_prev = e_prev;
+  state.history.push_back(e_new);
+  if (std::abs(e_new - e_prev) < options.energy_tolerance)
+    state.converged = state.finished = true;
+  if (it >= options.max_iterations) state.finished = true;
+  notify(options, state, it, e_new, nrm2(state.gradient), true);
+}
+
+// ---- SPSA ------------------------------------------------------------------
+
+void init_spsa(const EnergyFn& f, OptimizerState& state) {
+  state.energy = f(state.parameters);
+  state.history.assign(1, state.energy);
+  state.initialized = true;
+}
+
+void step_spsa(const EnergyFn& f, OptimizerState& state, Rng& rng,
+               const OptimizerOptions& options) {
+  const std::size_t n = state.parameters.size();
+  const int it = ++state.iteration;
+
+  // Standard SPSA gain sequences (Spall 1998); both decay on the global
+  // iteration count, which is exactly the "schedule position" the snapshot
+  // carries across a resume.
+  const double a = options.learning_rate, c0 = 0.1;
+  constexpr double kAlpha = 0.602, kGamma = 0.101, kStability = 10.0;
+  const double ak = a / std::pow(it + kStability, kAlpha);
+  const double ck = c0 / std::pow(it, kGamma);
+  std::vector<double> delta(n), xp(n), xm(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    delta[k] = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    xp[k] = state.parameters[k] + ck * delta[k];
+    xm[k] = state.parameters[k] - ck * delta[k];
+  }
+  const double diff = (f(xp) - f(xm)) / (2.0 * ck);
+  for (std::size_t k = 0; k < n; ++k)
+    state.parameters[k] -= ak * diff / delta[k];
+  const double e = f(state.parameters);
+  state.history.push_back(e);
+  state.e_prev = state.energy;
+  state.energy = e;
+  if (it >= options.max_iterations) {
+    state.finished = true;
+    state.converged = true;  // SPSA runs a fixed budget by design
+  }
+  notify(options, state, it, e, -1.0, true);
+}
+
 }  // namespace
+
+OptimizerResult minimize_adam_from(const EnergyFn& f, const GradientFn& grad,
+                                   OptimizerState& state,
+                                   const OptimizerOptions& options) {
+  if (!state.initialized) init_adam(f, state);
+  while (!state.finished && state.iteration < options.max_iterations)
+    step_adam(f, grad, state, options);
+  return result_from(state);
+}
+
+OptimizerResult minimize_lbfgs_from(const EnergyFn& f, const GradientFn& grad,
+                                    OptimizerState& state,
+                                    const OptimizerOptions& options) {
+  if (!state.initialized) init_lbfgs(f, grad, state);
+  while (!state.finished && state.iteration < options.max_iterations)
+    step_lbfgs(f, grad, state, options);
+  return result_from(state);
+}
+
+OptimizerResult minimize_spsa_from(const EnergyFn& f, OptimizerState& state,
+                                   Rng& rng, const OptimizerOptions& options) {
+  if (!state.initialized) init_spsa(f, state);
+  while (!state.finished && state.iteration < options.max_iterations)
+    step_spsa(f, state, rng, options);
+  if (state.iteration >= options.max_iterations) {
+    state.finished = true;
+    state.converged = true;
+  }
+  return result_from(state);
+}
 
 OptimizerResult minimize_adam(const EnergyFn& f, const GradientFn& grad,
                               std::vector<double> x0,
                               const OptimizerOptions& options) {
-  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
-  const std::size_t n = x0.size();
-  std::vector<double> m(n, 0.0), v(n, 0.0);
-
-  OptimizerResult r;
-  r.parameters = std::move(x0);
-  double e_prev = f(r.parameters);
-  r.history.push_back(e_prev);
-
-  for (int it = 1; it <= options.max_iterations; ++it) {
-    const std::vector<double> g = grad(r.parameters);
-    const double gnorm = nrm2(g);
-    r.iterations = it;
-    if (gnorm < options.gradient_tolerance) {
-      r.converged = true;
-      break;
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      m[i] = kBeta1 * m[i] + (1 - kBeta1) * g[i];
-      v[i] = kBeta2 * v[i] + (1 - kBeta2) * g[i] * g[i];
-      const double mh = m[i] / (1 - std::pow(kBeta1, it));
-      const double vh = v[i] / (1 - std::pow(kBeta2, it));
-      r.parameters[i] -= options.learning_rate * mh / (std::sqrt(vh) + kEps);
-    }
-    const double e = f(r.parameters);
-    r.history.push_back(e);
-    if (options.iteration_observer) options.iteration_observer(it, e, gnorm);
-    if (std::abs(e - e_prev) < options.energy_tolerance) {
-      r.converged = true;
-      break;
-    }
-    e_prev = e;
-  }
-  r.energy = r.history.back();
-  return r;
+  OptimizerState state;
+  state.parameters = std::move(x0);
+  return minimize_adam_from(f, grad, state, options);
 }
 
 OptimizerResult minimize_lbfgs(const EnergyFn& f, const GradientFn& grad,
                                std::vector<double> x0,
                                const OptimizerOptions& options) {
-  const std::size_t n = x0.size();
-  constexpr std::size_t kMemory = 10;
-  std::deque<std::vector<double>> s_list, y_list;
-  std::deque<double> rho_list;
-
-  OptimizerResult r;
-  r.parameters = std::move(x0);
-  double e = f(r.parameters);
-  std::vector<double> g = grad(r.parameters);
-  r.history.push_back(e);
-
-  for (int it = 1; it <= options.max_iterations; ++it) {
-    r.iterations = it;
-    if (nrm2(g) < options.gradient_tolerance) {
-      r.converged = true;
-      break;
-    }
-
-    // Two-loop recursion for the search direction d = -H g.
-    std::vector<double> q = g;
-    std::vector<double> alpha(s_list.size());
-    for (std::size_t i = s_list.size(); i-- > 0;) {
-      alpha[i] = rho_list[i] * dot(s_list[i], q);
-      for (std::size_t k = 0; k < n; ++k) q[k] -= alpha[i] * y_list[i][k];
-    }
-    double gamma = 1.0;
-    if (!s_list.empty()) {
-      const auto& s = s_list.back();
-      const auto& y = y_list.back();
-      const double yy = dot(y, y);
-      if (yy > 0) gamma = dot(s, y) / yy;
-    }
-    for (auto& x : q) x *= gamma;
-    for (std::size_t i = 0; i < s_list.size(); ++i) {
-      const double beta = rho_list[i] * dot(y_list[i], q);
-      for (std::size_t k = 0; k < n; ++k)
-        q[k] += (alpha[i] - beta) * s_list[i][k];
-    }
-    std::vector<double> d(n);
-    for (std::size_t k = 0; k < n; ++k) d[k] = -q[k];
-
-    // Backtracking Armijo line search.
-    double step = 1.0;
-    const double slope = dot(g, d);
-    if (slope >= 0) {
-      // Direction lost descent; reset to steepest descent.
-      for (std::size_t k = 0; k < n; ++k) d[k] = -g[k];
-      s_list.clear();
-      y_list.clear();
-      rho_list.clear();
-      step = options.learning_rate;
-    }
-    std::vector<double> x_new(n);
-    double e_new = e;
-    for (int ls = 0; ls < 40; ++ls) {
-      for (std::size_t k = 0; k < n; ++k)
-        x_new[k] = r.parameters[k] + step * d[k];
-      e_new = f(x_new);
-      if (e_new <= e + 1e-4 * step * dot(g, d)) break;
-      step *= 0.5;
-    }
-
-    const std::vector<double> g_new = grad(x_new);
-    std::vector<double> s(n), y(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      s[k] = x_new[k] - r.parameters[k];
-      y[k] = g_new[k] - g[k];
-    }
-    const double sy = dot(s, y);
-    if (sy > 1e-12) {
-      s_list.push_back(s);
-      y_list.push_back(y);
-      rho_list.push_back(1.0 / sy);
-      if (s_list.size() > kMemory) {
-        s_list.pop_front();
-        y_list.pop_front();
-        rho_list.pop_front();
-      }
-    }
-
-    const double e_prev = e;
-    r.parameters = x_new;
-    g = g_new;
-    e = e_new;
-    r.history.push_back(e);
-    if (options.iteration_observer) options.iteration_observer(it, e, nrm2(g));
-    if (std::abs(e - e_prev) < options.energy_tolerance) {
-      r.converged = true;
-      break;
-    }
-  }
-  r.energy = e;
-  return r;
+  OptimizerState state;
+  state.parameters = std::move(x0);
+  return minimize_lbfgs_from(f, grad, state, options);
 }
 
 OptimizerResult minimize_spsa(const EnergyFn& f, std::vector<double> x0,
                               Rng& rng, const OptimizerOptions& options) {
-  const std::size_t n = x0.size();
-  OptimizerResult r;
-  r.parameters = std::move(x0);
-  r.history.push_back(f(r.parameters));
-
-  // Standard SPSA gain sequences (Spall 1998).
-  const double a = options.learning_rate, c0 = 0.1;
-  constexpr double kAlpha = 0.602, kGamma = 0.101, kStability = 10.0;
-
-  for (int it = 1; it <= options.max_iterations; ++it) {
-    r.iterations = it;
-    const double ak = a / std::pow(it + kStability, kAlpha);
-    const double ck = c0 / std::pow(it, kGamma);
-    std::vector<double> delta(n), xp(n), xm(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      delta[k] = rng.uniform() < 0.5 ? -1.0 : 1.0;
-      xp[k] = r.parameters[k] + ck * delta[k];
-      xm[k] = r.parameters[k] - ck * delta[k];
-    }
-    const double diff = (f(xp) - f(xm)) / (2.0 * ck);
-    for (std::size_t k = 0; k < n; ++k)
-      r.parameters[k] -= ak * diff / delta[k];
-    const double e = f(r.parameters);
-    r.history.push_back(e);
-    if (options.iteration_observer) options.iteration_observer(it, e, -1.0);
-  }
-  r.energy = r.history.back();
-  r.converged = true;  // SPSA runs a fixed budget by design
-  return r;
+  OptimizerState state;
+  state.parameters = std::move(x0);
+  return minimize_spsa_from(f, state, rng, options);
 }
 
 std::vector<double> finite_difference_gradient(const EnergyFn& f,

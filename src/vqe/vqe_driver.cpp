@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "chem/hamiltonian.hpp"
+#include "ckpt/serialize.hpp"
 #include "common/timer.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -10,6 +11,52 @@
 
 namespace q2::vqe {
 namespace {
+
+constexpr const char* kSnapshotKind = "vqe";
+
+// Snapshot layout for a VQE run: a "meta" section guarding against resuming
+// with a different method/ansatz, the full optimizer state, and (SPSA only)
+// the exact rng stream.
+ckpt::Snapshot encode_vqe_snapshot(const VqeOptions& options,
+                                   std::size_t n_parameters,
+                                   const OptimizerState& state,
+                                   const Rng& spsa_rng) {
+  ckpt::Snapshot snap;
+  ckpt::ByteWriter meta;
+  meta.str(kSnapshotKind);
+  meta.i32(int(options.method));
+  meta.u64(n_parameters);
+  snap.set("meta", meta.take());
+  ckpt::ByteWriter opt;
+  ckpt::write_optimizer_state(opt, state);
+  snap.set("optimizer", opt.take());
+  if (options.method == OptimizerKind::kSpsa) {
+    ckpt::ByteWriter rng;
+    ckpt::write_rng(rng, spsa_rng);
+    snap.set("rng", rng.take());
+  }
+  return snap;
+}
+
+void decode_vqe_snapshot(const ckpt::Snapshot& snap, const VqeOptions& options,
+                         std::size_t n_parameters, OptimizerState& state,
+                         Rng& spsa_rng) {
+  ckpt::ByteReader meta(snap.at("meta"));
+  require(meta.str() == kSnapshotKind,
+          "vqe: snapshot was not written by a VQE run");
+  require(meta.i32() == int(options.method),
+          "vqe: snapshot was written with a different optimizer");
+  require(meta.u64() == n_parameters,
+          "vqe: snapshot ansatz parameter count mismatch");
+  ckpt::ByteReader opt(snap.at("optimizer"));
+  state = ckpt::read_optimizer_state(opt);
+  require(state.parameters.size() == n_parameters,
+          "vqe: snapshot optimizer state is inconsistent");
+  if (const auto* bytes = snap.find("rng")) {
+    ckpt::ByteReader rng(*bytes);
+    ckpt::read_rng(rng, spsa_rng);
+  }
+}
 
 // `report` gates run-report emission so only rank 0 of a distributed run
 // writes records (every rank executes the same optimizer trajectory).
@@ -47,19 +94,44 @@ VqeResult optimize(const EnergyEvaluator& evaluator, const UccsdAnsatz& ansatz,
     };
   }
 
+  // Checkpoint/resume: load the newest valid snapshot (every rank of a
+  // distributed run reads the same file; only the reporting rank writes),
+  // then hook snapshot writes onto the optimizer's state observer. The
+  // resumed trajectory is bit-identical to the uninterrupted one because the
+  // state carries every input of the next iteration in exact binary form.
+  OptimizerState state;
+  Rng spsa_rng(7);
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+  if (options.checkpoint.enabled()) {
+    manager = std::make_unique<ckpt::CheckpointManager>(options.checkpoint,
+                                                        /*writer=*/report);
+    if (const auto snap = manager->load_latest_valid())
+      decode_vqe_snapshot(*snap, options, ansatz.n_parameters, state,
+                          spsa_rng);
+    // user_observer dies with this block — the lambda must own its copy.
+    const StateObserver user_observer = opt_options.state_observer;
+    opt_options.state_observer = [&, user_observer](const OptimizerState& st) {
+      if (user_observer) user_observer(st);
+      if (!manager->due(st.iteration, st.finished)) return;
+      OBS_SPAN("ckpt/save");
+      manager->save(st.iteration, encode_vqe_snapshot(
+                                      options, ansatz.n_parameters, st,
+                                      spsa_rng));
+    };
+  }
+  if (!state.initialized) state.parameters = x0;
+
   OptimizerResult opt;
   switch (options.method) {
     case OptimizerKind::kLbfgs:
-      opt = minimize_lbfgs(energy_fn, grad_fn, x0, opt_options);
+      opt = minimize_lbfgs_from(energy_fn, grad_fn, state, opt_options);
       break;
     case OptimizerKind::kAdam:
-      opt = minimize_adam(energy_fn, grad_fn, x0, opt_options);
+      opt = minimize_adam_from(energy_fn, grad_fn, state, opt_options);
       break;
-    case OptimizerKind::kSpsa: {
-      Rng rng(7);
-      opt = minimize_spsa(energy_fn, x0, rng, opt_options);
+    case OptimizerKind::kSpsa:
+      opt = minimize_spsa_from(energy_fn, state, spsa_rng, opt_options);
       break;
-    }
   }
 
   VqeResult r;

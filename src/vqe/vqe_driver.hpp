@@ -6,6 +6,7 @@
 #pragma once
 
 #include "chem/mo.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "parallel/comm.hpp"
 #include "vqe/energy.hpp"
 #include "vqe/optimizer.hpp"
@@ -23,6 +24,13 @@ struct VqeOptions {
   CircuitStorage storage = CircuitStorage::kMemoryEfficient;
   OptimizerKind method = OptimizerKind::kLbfgs;
   double gradient_eps = 1e-5;
+  /// Durable snapshot/resume of the optimizer loop (src/ckpt). When enabled,
+  /// the full resumable optimizer state (plus the SPSA rng stream) is
+  /// written every `every_n_iterations`; an interrupted run restarted with
+  /// the same options resumes mid-optimization and produces bit-identical
+  /// final energy, parameters and iteration history. In a distributed run
+  /// only rank 0 writes; every rank loads the same snapshot.
+  ckpt::CheckpointOptions checkpoint;
 };
 
 struct VqeResult {

@@ -1,0 +1,264 @@
+// Crash–resume equivalence: a run killed mid-flight by an injected fault and
+// restarted from its snapshot family must reproduce the uninterrupted run
+// bit for bit — final energy, parameters, iteration history, µ bracket, the
+// lot. Covers all three VQE optimizers (SPSA additionally round-trips the
+// mt19937_64 stream), the DMET chemical-potential loop, fallback past a
+// corrupted newest snapshot, and resume-after-completion.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "chem/mo.hpp"
+#include "chem/scf.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "dmet/dmet_driver.hpp"
+#include "vqe/vqe_driver.hpp"
+
+namespace q2 {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("q2_resume_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return (dir / "run.ckpt").string();
+}
+
+void expect_bits(double a, double b) {
+  EXPECT_EQ(0, std::memcmp(&a, &b, sizeof(double)));
+}
+
+void expect_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (!a.empty())
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}
+
+void expect_same(const vqe::VqeResult& a, const vqe::VqeResult& b) {
+  expect_bits(a.energy, b.energy);
+  expect_bits(a.parameters, b.parameters);
+  expect_bits(a.history, b.history);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+chem::MoIntegrals mo_for(const chem::Molecule& mol) {
+  const chem::BasisSet basis = chem::BasisSet::build(mol, "sto-3g");
+  const chem::IntegralTables ints = chem::compute_integrals(mol, basis);
+  const chem::ScfResult scf = chem::rhf(mol, basis, ints);
+  return chem::transform_to_mo(ints, scf.coefficients, scf.nuclear_repulsion);
+}
+
+const chem::MoIntegrals& h4_mo() {
+  static const chem::MoIntegrals mo =
+      mo_for(chem::Molecule::hydrogen_chain(4, 1.8));
+  return mo;
+}
+
+vqe::VqeOptions vqe_opts(vqe::OptimizerKind method, int max_iterations) {
+  vqe::VqeOptions o;
+  o.method = method;
+  o.optimizer.max_iterations = max_iterations;
+  o.mps.max_bond = 16;
+  return o;
+}
+
+// Runs once with a crash injected at `crash_at`, verifies the crash actually
+// fired, then restarts from the snapshot family and returns the resumed
+// result.
+vqe::VqeResult crash_then_resume(const chem::MoIntegrals& mo,
+                                 vqe::VqeOptions options,
+                                 const std::string& path, int crash_at,
+                                 ckpt::FaultPlan::Corruption corruption =
+                                     ckpt::FaultPlan::Corruption::kNone) {
+  options.checkpoint.path = path;
+  options.checkpoint.resume = false;  // first leg starts fresh
+  options.checkpoint.fault.crash_at_iteration = crash_at;
+  if (corruption != ckpt::FaultPlan::Corruption::kNone) {
+    // Corrupt the snapshot written at the crash iteration itself: a torn
+    // write followed by the node dying. Resume must fall back one snapshot
+    // and recompute the lost iteration.
+    options.checkpoint.fault.corrupt_at_iteration = crash_at;
+    options.checkpoint.fault.corruption = corruption;
+  }
+  bool crashed = false;
+  try {
+    vqe::run_vqe(mo, 2, 2, options);
+  } catch (const ckpt::InjectedCrash& crash) {
+    crashed = true;
+    EXPECT_EQ(crash_at, crash.iteration());
+  }
+  EXPECT_TRUE(crashed) << "fault plan never fired";
+
+  options.checkpoint.fault = {};
+  options.checkpoint.resume = true;
+  return vqe::run_vqe(mo, 2, 2, options);
+}
+
+// The goldens are shared across several tests; compute each once.
+const vqe::VqeResult& golden_spsa() {
+  static const vqe::VqeResult r =
+      vqe::run_vqe(h4_mo(), 2, 2, vqe_opts(vqe::OptimizerKind::kSpsa, 10));
+  return r;
+}
+
+TEST(VqeResume, LbfgsCrashResumeBitIdentical) {
+  const vqe::VqeOptions options = vqe_opts(vqe::OptimizerKind::kLbfgs, 5);
+  const vqe::VqeResult golden = vqe::run_vqe(h4_mo(), 2, 2, options);
+  const vqe::VqeResult resumed = crash_then_resume(
+      h4_mo(), options, scratch("lbfgs"), /*crash_at=*/2);
+  expect_same(golden, resumed);
+}
+
+TEST(VqeResume, AdamCrashResumeBitIdentical) {
+  // H2 keeps the two gradient-driven goldens affordable; L-BFGS already
+  // covers H4. The tiny problem converges in a couple of Adam steps at the
+  // default tolerances, so tighten them to keep the run alive past the
+  // injected crash.
+  const chem::MoIntegrals mo = mo_for(chem::Molecule::hydrogen_chain(2, 1.8));
+  vqe::VqeOptions options = vqe_opts(vqe::OptimizerKind::kAdam, 6);
+  options.optimizer.gradient_tolerance = 0.0;
+  options.optimizer.energy_tolerance = 0.0;
+  const vqe::VqeResult golden = vqe::run_vqe(mo, 2, 2, options);
+  const vqe::VqeResult resumed =
+      crash_then_resume(mo, options, scratch("adam"), /*crash_at=*/3);
+  expect_same(golden, resumed);
+}
+
+TEST(VqeResume, SpsaCrashResumeBitIdentical) {
+  // SPSA draws its perturbations from the snapshotted mt19937_64 stream, so
+  // this is the end-to-end rng round-trip check.
+  const vqe::VqeResult resumed =
+      crash_then_resume(h4_mo(), vqe_opts(vqe::OptimizerKind::kSpsa, 10),
+                        scratch("spsa"), /*crash_at=*/4);
+  expect_same(golden_spsa(), resumed);
+}
+
+TEST(VqeResume, CheckpointingItselfDoesNotPerturbTheRun) {
+  vqe::VqeOptions options = vqe_opts(vqe::OptimizerKind::kSpsa, 10);
+  options.checkpoint.path = scratch("undisturbed");
+  options.checkpoint.resume = false;
+  const vqe::VqeResult r = vqe::run_vqe(h4_mo(), 2, 2, options);
+  expect_same(golden_spsa(), r);
+}
+
+TEST(VqeResume, FallsBackPastCorruptedNewestSnapshot) {
+  const vqe::VqeResult resumed = crash_then_resume(
+      h4_mo(), vqe_opts(vqe::OptimizerKind::kSpsa, 10), scratch("corrupt"),
+      /*crash_at=*/4, ckpt::FaultPlan::Corruption::kFlipByte);
+  expect_same(golden_spsa(), resumed);
+}
+
+TEST(VqeResume, TruncatedNewestSnapshotAlsoFallsBack) {
+  const vqe::VqeResult resumed = crash_then_resume(
+      h4_mo(), vqe_opts(vqe::OptimizerKind::kSpsa, 10), scratch("truncated"),
+      /*crash_at=*/4, ckpt::FaultPlan::Corruption::kTruncate);
+  expect_same(golden_spsa(), resumed);
+}
+
+TEST(VqeResume, ResumeAfterCompletionReturnsIdenticalResult) {
+  vqe::VqeOptions options = vqe_opts(vqe::OptimizerKind::kSpsa, 10);
+  options.checkpoint.path = scratch("completed");
+  options.checkpoint.resume = false;
+  const vqe::VqeResult first = vqe::run_vqe(h4_mo(), 2, 2, options);
+  expect_same(golden_spsa(), first);
+
+  // The terminal snapshot carries finished = true: the resumed run loads it,
+  // skips the optimizer loop entirely and reports the same result.
+  options.checkpoint.resume = true;
+  const vqe::VqeResult again = vqe::run_vqe(h4_mo(), 2, 2, options);
+  expect_same(first, again);
+}
+
+// ---- DMET µ-loop ----------------------------------------------------------
+
+void expect_same(const dmet::DmetResult& a, const dmet::DmetResult& b) {
+  expect_bits(a.energy, b.energy);
+  expect_bits(a.hf_energy, b.hf_energy);
+  expect_bits(a.mu, b.mu);
+  expect_bits(a.total_electrons, b.total_electrons);
+  expect_bits(a.fragment_energies, b.fragment_energies);
+  expect_bits(a.fragment_electrons, b.fragment_electrons);
+  EXPECT_EQ(a.mu_iterations, b.mu_iterations);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+// A stretched H6 ring: the correlated electron count at µ = 0 misses the
+// target, so the fit genuinely brackets and bisects (~20 µ-evaluations) —
+// enough trajectory to kill and resume mid-bisection.
+dmet::DmetOptions ring_opts() {
+  dmet::DmetOptions opts;
+  opts.fragments = dmet::uniform_atom_groups(6, 2);
+  return opts;
+}
+
+const chem::Molecule& ring_mol() {
+  static const chem::Molecule mol = chem::Molecule::hydrogen_ring(6, 2.2);
+  return mol;
+}
+
+const dmet::DmetResult& golden_dmet() {
+  static const dmet::DmetResult r =
+      dmet::run_dmet(ring_mol(), ring_opts(), dmet::make_fci_solver());
+  return r;
+}
+
+TEST(DmetResume, CrashMidBisectionResumesBitIdentical) {
+  ASSERT_GE(golden_dmet().mu_iterations, 10) << "workload too easy to crash";
+  dmet::DmetOptions options = ring_opts();
+  options.checkpoint.path = scratch("dmet");
+  options.checkpoint.resume = false;
+  options.checkpoint.fault.crash_at_iteration = 8;
+  bool crashed = false;
+  try {
+    dmet::run_dmet(ring_mol(), options, dmet::make_fci_solver());
+  } catch (const ckpt::InjectedCrash& crash) {
+    crashed = true;
+    EXPECT_EQ(8, crash.iteration());
+  }
+  EXPECT_TRUE(crashed) << "fault plan never fired";
+
+  options.checkpoint.fault = {};
+  options.checkpoint.resume = true;
+  const dmet::DmetResult resumed =
+      dmet::run_dmet(ring_mol(), options, dmet::make_fci_solver());
+  expect_same(golden_dmet(), resumed);
+}
+
+TEST(DmetResume, CorruptedNewestSnapshotFallsBackAndStillMatches) {
+  dmet::DmetOptions options = ring_opts();
+  options.checkpoint.path = scratch("dmet_corrupt");
+  options.checkpoint.resume = false;
+  options.checkpoint.fault.crash_at_iteration = 8;
+  options.checkpoint.fault.corrupt_at_iteration = 8;
+  options.checkpoint.fault.corruption = ckpt::FaultPlan::Corruption::kFlipByte;
+  EXPECT_THROW(dmet::run_dmet(ring_mol(), options, dmet::make_fci_solver()),
+               ckpt::InjectedCrash);
+
+  options.checkpoint.fault = {};
+  options.checkpoint.resume = true;
+  const dmet::DmetResult resumed =
+      dmet::run_dmet(ring_mol(), options, dmet::make_fci_solver());
+  expect_same(golden_dmet(), resumed);
+}
+
+TEST(DmetResume, CheckpointingItselfDoesNotPerturbTheFit) {
+  dmet::DmetOptions options = ring_opts();
+  options.checkpoint.path = scratch("dmet_undisturbed");
+  options.checkpoint.resume = false;
+  const dmet::DmetResult r =
+      dmet::run_dmet(ring_mol(), options, dmet::make_fci_solver());
+  expect_same(golden_dmet(), r);
+
+  // Resume after completion: the terminal snapshot reports the finished fit.
+  options.checkpoint.resume = true;
+  const dmet::DmetResult again =
+      dmet::run_dmet(ring_mol(), options, dmet::make_fci_solver());
+  expect_same(r, again);
+}
+
+}  // namespace
+}  // namespace q2
