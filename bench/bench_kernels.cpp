@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/svd_reference.hpp"
 #include "linalg/tensor.hpp"
 #include "sim/mps.hpp"
 
@@ -85,6 +86,18 @@ void BM_SvdJacobi(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SvdJacobi)->Arg(16)->Arg(32)->Arg(64);
+
+// The frozen scalar cyclic-Jacobi oracle, timed alongside the tournament
+// engine so the microbenchmark shows the same gap the bench_svd sweep
+// asserts.
+void BM_SvdJacobiReference(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const la::CMatrix a = random_matrix(2 * n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::svd_jacobi_reference(a));
+  }
+}
+BENCHMARK(BM_SvdJacobiReference)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_MpsTwoQubitGate(benchmark::State& state) {
   const std::size_t d = std::size_t(state.range(0));

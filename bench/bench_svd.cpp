@@ -1,0 +1,187 @@
+// Truncated-SVD substrate sweep (`bench_svd --json=BENCH_svd.json`): the
+// QR-preconditioned tournament-Jacobi engine vs the frozen scalar
+// cyclic-Jacobi reference across operand shapes and bond-fraction
+// truncations, asserting the perf floor (new engine >= 3x the scalar
+// reference single-threaded on 512x512 complex at max_bond = 64) and
+// recording the trajectory point next to BENCH_gemm.json. A second section
+// measures MPS two-qubit gate throughput, whose hot loop is exactly this
+// truncated SVD.
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "circuit/builder.hpp"
+#include "common/rng.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/svd_reference.hpp"
+#include "sim/mps.hpp"
+
+namespace {
+
+using namespace q2;
+
+la::CMatrix random_matrix(std::size_t m, std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  la::CMatrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.complex_normal();
+  return a;
+}
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+std::string shape_key(std::size_t m, std::size_t n, std::size_t d) {
+  return std::to_string(m) + "x" + std::to_string(n) + "_d" +
+         std::to_string(d);
+}
+
+int run(const std::string& report_name) {
+  bench::BenchReport report(report_name);
+  const unsigned cores = std::thread::hardware_concurrency();
+  report.set("hardware_threads", double(cores));
+  bool ok = true;
+
+  bench::header(
+      "Truncated SVD sweep: tournament Jacobi vs scalar cyclic reference");
+  bench::row({"shape", "max_bond", "reference (s)", "new 1T (s)", "speedup",
+              "sweeps", "precond"});
+
+  struct Shape {
+    std::size_t m, n;
+  };
+  double floor_speedup = 0;  // 512x512 @ max_bond 64
+  for (const Shape shape : {Shape{128, 128}, Shape{256, 256}, Shape{512, 128},
+                            Shape{128, 512}, Shape{512, 512}}) {
+    const std::size_t m = shape.m, n = shape.n;
+    const std::size_t k = std::min(m, n);
+    const la::CMatrix a = random_matrix(m, n, 21);
+
+    // The full scalar reference is timed once per shape (it is the slow
+    // baseline, gemm_naive's role in the GEMM sweep) and reused as the
+    // correctness oracle for every truncation of the same operand.
+    la::SvdResult ref;
+    const double t_ref = time_best_of(1, [&] {
+      ref = la::svd_jacobi_reference(a);
+    });
+    report.set("ref_" + std::to_string(m) + "x" + std::to_string(n) + "_s",
+               t_ref);
+
+    for (const std::size_t frac : {8u, 4u, 2u}) {
+      const std::size_t max_bond = std::max<std::size_t>(1, k / frac);
+      const int reps = k <= 256 ? 3 : 2;
+
+      par::ParallelOptions one;
+      one.n_threads = 1;
+      la::SvdWorkspace ws;
+      la::TruncatedSpectrum f;
+      const double t_new = time_best_of(reps, [&] {
+        f = la::svd_truncated_ws(ws, a.data(), m, n, n, nullptr, max_bond,
+                                 0.0, /*want_u=*/true, one);
+      });
+
+      // Correctness: kept spectrum must match the reference oracle.
+      for (std::size_t i = 0; i < f.keep; ++i) {
+        if (std::abs(f.s[i] - ref.s[i]) > 1e-10 * (1 + ref.s[0])) {
+          std::printf("FAIL: spectrum divergence at %zux%zu d=%zu i=%zu\n", m,
+                      n, max_bond, i);
+          ok = false;
+          break;
+        }
+      }
+
+      // Determinism: a second thread count must reproduce every output bit.
+      par::ParallelOptions two;
+      two.n_threads = 2;
+      la::SvdWorkspace ws2;
+      const la::TruncatedSpectrum f2 = la::svd_truncated_ws(
+          ws2, a.data(), m, n, n, nullptr, max_bond, 0.0, true, two);
+      if (f2.keep != f.keep ||
+          std::memcmp(f.s, f2.s, f.keep * sizeof(double)) != 0 ||
+          std::memcmp(f.vh, f2.vh, f.keep * n * sizeof(cplx)) != 0 ||
+          std::memcmp(f.u, f2.u, m * f.keep * sizeof(cplx)) != 0) {
+        std::printf("FAIL: thread counts not bit-identical at %zux%zu d=%zu\n",
+                    m, n, max_bond);
+        ok = false;
+      }
+
+      const double speedup = t_ref / t_new;
+      bench::row({std::to_string(m) + "x" + std::to_string(n),
+                  std::to_string(max_bond), bench::fmte(t_ref),
+                  bench::fmte(t_new), bench::fmt(speedup, 2) + "x",
+                  std::to_string(f.sweeps), f.preconditioned ? "yes" : "no"});
+      const std::string key = shape_key(m, n, max_bond);
+      report.set("svd_" + key + "_new_1t_s", t_new);
+      report.set("svd_" + key + "_speedup_vs_ref", speedup);
+      report.set("svd_" + key + "_sweeps", double(f.sweeps));
+      if (m == 512 && n == 512 && max_bond == 64) floor_speedup = speedup;
+    }
+  }
+
+  report.set("speedup_vs_reference_512_d64", floor_speedup);
+  std::printf(
+      "\n512x512 complex @ max_bond 64: new engine vs scalar reference "
+      "%.2fx (floor 3x)\n",
+      floor_speedup);
+  if (floor_speedup < 3.0) {
+    std::printf("FAIL: single-thread speedup below the 3x floor\n");
+    ok = false;
+  }
+
+  // --- MPS gate throughput (the consumer of the truncated SVD) -------------
+  bench::header("MPS two-qubit gate throughput (brickwork, D = 64)");
+  {
+    const int n_qubits = 16;
+    Rng rng(31);
+    sim::MpsOptions opts;
+    opts.max_bond = 64;
+    sim::Mps mps(n_qubits, opts);
+    mps.run(circ::brickwork_circuit(n_qubits, 8, rng));  // saturate bonds
+    const circ::Circuit layer = circ::brickwork_circuit(n_qubits, 2, rng);
+    const double t_layers = time_best_of(3, [&] { mps.run(layer); });
+    const double gates_per_s = double(layer.size()) / t_layers;
+    bench::row({"gates/s", bench::fmt(gates_per_s, 1)});
+    bench::row({"truncation_error", bench::fmte(mps.truncation_error())});
+    bench::row({"svd_sweeps/gate",
+                bench::fmt(double(mps.profile().svd_sweeps) /
+                               double(mps.profile().gates_applied),
+                           2)});
+    report.set("mps_gate_throughput_per_s", gates_per_s);
+    report.set("mps_truncation_error", mps.truncation_error());
+    report.set("mps_svd_seconds_frac",
+               mps.profile().svd_seconds /
+                   (mps.profile().svd_seconds +
+                    mps.profile().contraction_seconds));
+  }
+
+  report.set("perf_floor_ok", ok ? 1.0 : 0.0);
+  report.write();
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  q2::bench::init(argc, argv);
+  std::string name = "svd";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      name = arg.substr(7);
+      if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
+      const std::size_t dot = name.rfind(".json");
+      if (dot != std::string::npos) name = name.substr(0, dot);
+      if (name.empty()) name = "svd";
+    }
+  }
+  return run(name);
+}

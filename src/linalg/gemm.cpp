@@ -243,6 +243,36 @@ RMatrix matmul(const RMatrix& a, const RMatrix& b, Op op_a, Op op_b,
   return c;
 }
 
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, const cplx* a,
+              std::size_t lda, Op op_a, const cplx* b, std::size_t ldb,
+              Op op_b, cplx* c, std::size_t ldc,
+              const par::ParallelOptions& opts) {
+  require(a != nullptr && b != nullptr && c != nullptr,
+          "gemm_raw: null operand");
+  require(ldc >= n, "gemm_raw: ldc < n");
+  const OpView<cplx> av{a, lda, op_a != Op::kNone, op_a == Op::kAdjoint};
+  const OpView<cplx> bv{b, ldb, op_b != Op::kNone, op_b == Op::kAdjoint};
+  gemm_blocked(m, k, n, cplx{1}, av, bv, cplx{0}, c, ldc, opts);
+}
+
+void gemm_offsets_into(std::size_t m, std::size_t k, std::size_t n,
+                       const cplx* a_data,
+                       const std::vector<std::size_t>& a_row_off,
+                       const std::vector<std::size_t>& a_col_off,
+                       const cplx* b_data,
+                       const std::vector<std::size_t>& b_row_off,
+                       const std::vector<std::size_t>& b_col_off, cplx* c,
+                       std::size_t ldc, const par::ParallelOptions& opts) {
+  require(a_row_off.size() == m && a_col_off.size() == k,
+          "gemm_offsets: A offset table size mismatch");
+  require(b_row_off.size() == k && b_col_off.size() == n,
+          "gemm_offsets: B offset table size mismatch");
+  require(ldc >= n, "gemm_offsets: ldc < n");
+  const OffsetView<cplx> av{a_data, a_row_off.data(), a_col_off.data()};
+  const OffsetView<cplx> bv{b_data, b_row_off.data(), b_col_off.data()};
+  gemm_blocked(m, k, n, cplx{1}, av, bv, cplx{0}, c, ldc, opts);
+}
+
 CMatrix gemm_offsets(std::size_t m, std::size_t k, std::size_t n,
                      const cplx* a_data,
                      const std::vector<std::size_t>& a_row_off,
@@ -251,14 +281,9 @@ CMatrix gemm_offsets(std::size_t m, std::size_t k, std::size_t n,
                      const std::vector<std::size_t>& b_row_off,
                      const std::vector<std::size_t>& b_col_off,
                      const par::ParallelOptions& opts) {
-  require(a_row_off.size() == m && a_col_off.size() == k,
-          "gemm_offsets: A offset table size mismatch");
-  require(b_row_off.size() == k && b_col_off.size() == n,
-          "gemm_offsets: B offset table size mismatch");
   CMatrix c(m, n);
-  const OffsetView<cplx> av{a_data, a_row_off.data(), a_col_off.data()};
-  const OffsetView<cplx> bv{b_data, b_row_off.data(), b_col_off.data()};
-  gemm_blocked(m, k, n, cplx{1}, av, bv, cplx{0}, c.data(), n, opts);
+  gemm_offsets_into(m, k, n, a_data, a_row_off, a_col_off, b_data, b_row_off,
+                    b_col_off, c.data(), n, opts);
   return c;
 }
 

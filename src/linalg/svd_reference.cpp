@@ -1,0 +1,151 @@
+// Verbatim copy of the scalar cyclic one-sided Jacobi SVD that shipped before
+// the truncated-SVD substrate rebuild. Deliberately untuned: column accesses
+// are strided, Gram elements are recomputed per pair, there is no QR
+// preconditioning and no threading. Any change here weakens the differential
+// tests — treat it as frozen.
+#include "linalg/svd_reference.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace q2::la {
+namespace {
+
+// One sweep of cyclic one-sided Jacobi over column pairs of `a`, accumulating
+// the right rotations into `v`. Returns the largest relative off-diagonal
+// Gram element seen, which drives convergence.
+double jacobi_sweep(CMatrix& a, CMatrix& v) {
+  const std::size_t m = a.rows(), n = a.cols();
+  double off_max = 0.0;
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      double app = 0, aqq = 0;
+      cplx apq{};
+      for (std::size_t i = 0; i < m; ++i) {
+        const cplx x = a(i, p), y = a(i, q);
+        app += norm2(x);
+        aqq += norm2(y);
+        apq += std::conj(x) * y;
+      }
+      const double denom = std::sqrt(app * aqq);
+      if (denom <= 0.0) continue;
+      const double rel = std::abs(apq) / denom;
+      off_max = std::max(off_max, rel);
+      if (rel < 1e-15) continue;
+
+      // Diagonalize the Hermitian 2x2 Gram block [[app, apq], [conj, aqq]]:
+      // phase it real with D = diag(1, e^{-i phi}), then a plain real
+      // rotation R; the combined unitary is J = D R.
+      const double absc = std::abs(apq);
+      const cplx phase_conj = std::conj(apq) / absc;  // e^{-i phi}
+      const double theta = 0.5 * std::atan2(2.0 * absc, app - aqq);
+      const double cs = std::cos(theta), sn = std::sin(theta);
+      const cplx esn = phase_conj * sn;
+      const cplx ecs = phase_conj * cs;
+      for (std::size_t i = 0; i < m; ++i) {
+        const cplx x = a(i, p), y = a(i, q);
+        a(i, p) = cs * x + esn * y;
+        a(i, q) = -sn * x + ecs * y;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplx x = v(i, p), y = v(i, q);
+        v(i, p) = cs * x + esn * y;
+        v(i, q) = -sn * x + ecs * y;
+      }
+    }
+  }
+  return off_max;
+}
+
+// Fill zero-norm columns of `u` with unit vectors orthogonalized against all
+// other columns, so U keeps orthonormal columns even for rank-deficient input.
+void complete_null_columns(CMatrix& u, const std::vector<bool>& is_null) {
+  const std::size_t m = u.rows(), k = u.cols();
+  std::size_t probe = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!is_null[j]) continue;
+    for (; probe < m; ++probe) {
+      std::vector<cplx> cand(m, cplx{});
+      cand[probe] = 1.0;
+      // Two rounds of modified Gram-Schmidt for robustness.
+      for (int round = 0; round < 2; ++round) {
+        for (std::size_t c = 0; c < k; ++c) {
+          if (c == j) continue;
+          cplx proj{};
+          for (std::size_t i = 0; i < m; ++i)
+            proj += std::conj(u(i, c)) * cand[i];
+          for (std::size_t i = 0; i < m; ++i) cand[i] -= proj * u(i, c);
+        }
+      }
+      double nrm = 0;
+      for (const auto& z : cand) nrm += norm2(z);
+      nrm = std::sqrt(nrm);
+      if (nrm > 1e-8) {
+        for (std::size_t i = 0; i < m; ++i) u(i, j) = cand[i] / nrm;
+        ++probe;
+        break;
+      }
+    }
+  }
+}
+
+SvdResult svd_tall(const CMatrix& a_in) {
+  CMatrix a = a_in;
+  const std::size_t m = a.rows(), n = a.cols();
+  CMatrix v = CMatrix::identity(n);
+  constexpr int kMaxSweeps = 60;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (jacobi_sweep(a, v) < 1e-14) break;
+  }
+
+  // Column norms are the singular values; sort them descending.
+  std::vector<double> s(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double nrm = 0;
+    for (std::size_t i = 0; i < m; ++i) nrm += norm2(a(i, j));
+    s[j] = std::sqrt(nrm);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+
+  const double smax = s.empty() ? 0.0 : s[order[0]];
+  const double null_tol = std::max(smax, 1.0) * 1e-14 * double(std::max(m, n));
+
+  SvdResult r;
+  r.u = CMatrix(m, n);
+  r.s.resize(n);
+  r.vh = CMatrix(n, n);
+  std::vector<bool> is_null(n, false);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    r.s[jj] = s[j];
+    if (s[j] > null_tol) {
+      for (std::size_t i = 0; i < m; ++i) r.u(i, jj) = a(i, j) / s[j];
+    } else {
+      r.s[jj] = 0.0;
+      is_null[jj] = true;
+    }
+    for (std::size_t i = 0; i < n; ++i) r.vh(jj, i) = std::conj(v(i, j));
+  }
+  complete_null_columns(r.u, is_null);
+  return r;
+}
+
+}  // namespace
+
+SvdResult svd_jacobi_reference(const CMatrix& a) {
+  require(!a.empty(), "svd_jacobi_reference: empty matrix");
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  // Wide matrix: decompose the adjoint and swap factors,
+  // A = (U' S V'^H)^H = V' S U'^H.
+  SvdResult t = svd_tall(a.adjoint());
+  SvdResult r;
+  r.s = std::move(t.s);
+  r.u = t.vh.adjoint();
+  r.vh = t.u.adjoint();
+  return r;
+}
+
+}  // namespace q2::la

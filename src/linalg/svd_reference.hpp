@@ -1,0 +1,16 @@
+// The pre-rebuild textbook scalar one-sided Jacobi SVD, kept verbatim as the
+// independently-derived oracle for the differential tests (tests/test_svd_diff)
+// and the perf baseline for bench_svd — the role gemm_naive plays for the GEMM
+// substrate. Production code must not call this; use la::svd / la::svd_jacobi /
+// la::svd_truncated, which run the QR-preconditioned tournament engine.
+#pragma once
+
+#include "linalg/svd.hpp"
+
+namespace q2::la {
+
+/// Scalar cyclic one-sided Jacobi SVD (full decomposition, k = min(m, n)
+/// triplets, zero singular values kept with completed orthonormal U columns).
+SvdResult svd_jacobi_reference(const CMatrix& a);
+
+}  // namespace q2::la

@@ -1,6 +1,8 @@
 #include "sim/mps.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 
 #include "circuit/routing.hpp"
 #include "common/timer.hpp"
@@ -26,6 +28,15 @@ obs::Histogram& contract_hist() {
 obs::Histogram& svd_hist() {
   static obs::Histogram& h =
       obs::Registry::global().histogram("mps.svd_seconds");
+  return h;
+}
+obs::Counter& svd_sweep_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("mps.svd_sweeps");
+  return c;
+}
+obs::Histogram& bond_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "mps.bond_dim", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
   return h;
 }
 
@@ -81,7 +92,8 @@ Mps Mps::from_statevector(int n_qubits, const std::vector<cplx>& amps,
     la::CMatrix m(rows, cols);
     std::copy(c.begin(), c.end(), m.data());
     la::TruncatedSvd f = la::svd_truncated(m, options.max_bond,
-                                           options.svd_cutoff);
+                                           options.svd_cutoff,
+                                           options.parallel);
     const std::size_t k = f.s.size();
     mps.truncation_error_ += f.truncation_error;
     mps.tensors_[site].assign(k * cols, cplx{});
@@ -166,42 +178,45 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
   gate_counter().add();
   Timer hotspot_timer;
 
-  la::CMatrix mm(dl * 2, 2 * dr);
-  la::CMatrix mw;
+  const std::size_t rows = dl * 2, cols = 2 * dr;
+  std::vector<cplx>& mm = scratch_.m;
   {
     OBS_SPAN("mps/contract");
 
-    // Eq. (7) part 1: T[(a i'), (j' b)] = sum_m Bn[a,i',m] Bn1[m,j',b].
-    la::CMatrix bn(dl * 2, dm);
-    std::copy(tensors_[n].begin(), tensors_[n].end(), bn.data());
-    la::CMatrix bn1(dm, 2 * dr);
-    std::copy(tensors_[n + 1].begin(), tensors_[n + 1].end(), bn1.data());
-    la::CMatrix t = la::matmul(bn, bn1, la::Op::kNone, la::Op::kNone,
-                               options_.parallel);
+    // Eq. (7) part 1: T[(a i'), (j' b)] = sum_m Bn[a,i',m] Bn1[m,j',b]. Both
+    // site tensors are already exact row-major matrices under this
+    // (free, contracted) split — (dl*2) x dm and dm x (2*dr) — so the packed
+    // GEMM reads them in place; no bn/bn1 staging copies.
+    mm.resize(rows * cols);
+    la::gemm_raw(rows, dm, cols, tensors_[n].data(), dm, la::Op::kNone,
+                 tensors_[n + 1].data(), cols, la::Op::kNone, mm.data(), cols,
+                 options_.parallel);
 
-    // Eq. (7) part 2: M[(a i), (j b)] = sum_{i' j'} O[(i j), (i' j')] T.
+    // Eq. (7) part 2: M[(a i), (j b)] = sum_{i' j'} O[(i j), (i' j')] T,
+    // applied in place (each (a, b) fiber is read fully before writeback).
     for (std::size_t a = 0; a < dl; ++a) {
       for (std::size_t b = 0; b < dr; ++b) {
         cplx in[4], out[4] = {};
         for (int ip = 0; ip < 2; ++ip)
           for (int jp = 0; jp < 2; ++jp)
-            in[ip * 2 + jp] = t(a * 2 + ip, jp * dr + b);
+            in[ip * 2 + jp] = mm[(a * 2 + ip) * cols + jp * dr + b];
         for (int r = 0; r < 4; ++r)
           for (int k = 0; k < 4; ++k) out[r] += o[r * 4 + k] * in[k];
         for (int i = 0; i < 2; ++i)
           for (int j = 0; j < 2; ++j)
-            mm(a * 2 + i, j * dr + b) = out[i * 2 + j];
+            mm[(a * 2 + i) * cols + j * dr + b] = out[i * 2 + j];
       }
     }
 
-    // Eq. (8): weight rows by the left-bond Schmidt values.
-    mw = mm;
+    // Eq. (8): the Schmidt row weights fold into the SVD's packing pass —
+    // the full weighted copy mw = mm is gone.
     if (n > 0) {
       const std::vector<double>& lam = lambda_[n - 1];
-      for (std::size_t a = 0; a < dl; ++a)
-        for (int i = 0; i < 2; ++i)
-          for (std::size_t col = 0; col < 2 * dr; ++col)
-            mw(a * 2 + i, col) *= lam[a];
+      scratch_.row_scale.resize(rows);
+      for (std::size_t a = 0; a < dl; ++a) {
+        scratch_.row_scale[a * 2 + 0] = lam[a];
+        scratch_.row_scale[a * 2 + 1] = lam[a];
+      }
     }
   }
 
@@ -209,17 +224,24 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
   profile_.contraction_seconds += contract_seconds;
   hotspot_timer.reset();
 
-  // Eq. (9): truncated SVD of the weighted tensor.
-  la::TruncatedSvd f;
+  // Eq. (9): truncated SVD of the weighted tensor. U is never formed — the
+  // Eq. (10) recovery below needs only the unweighted M and V^H.
+  la::TruncatedSpectrum f;
   {
     OBS_SPAN("mps/svd");
-    f = la::svd_truncated(mw, options_.max_bond, options_.svd_cutoff);
+    f = la::svd_truncated_ws(scratch_.svd, mm.data(), rows, cols, cols,
+                             n > 0 ? scratch_.row_scale.data() : nullptr,
+                             options_.max_bond, options_.svd_cutoff,
+                             /*want_u=*/false, options_.parallel);
   }
   const double svd_seconds = hotspot_timer.seconds();
   profile_.svd_seconds += svd_seconds;
   svd_hist().observe(svd_seconds);
+  profile_.svd_sweeps += std::size_t(f.sweeps);
+  svd_sweep_counter().add(std::uint64_t(f.sweeps));
   hotspot_timer.reset();
-  const std::size_t k = f.s.size();
+  const std::size_t k = f.keep;
+  bond_hist().observe(double(k));
   truncation_error_ += f.truncation_error;
 
   // Compensate the weight dropped by this truncation (relative, so it is
@@ -228,7 +250,7 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
 
   // New Schmidt vector on bond n (normalized).
   double kept = 0;
-  for (double s : f.s) kept += s * s;
+  for (std::size_t r = 0; r < k; ++r) kept += f.s[r] * f.s[r];
   lambda_[n].resize(k);
   {
     const double total = std::sqrt(kept);
@@ -236,23 +258,20 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
       lambda_[n][r] = total > 0 ? f.s[r] / total : 0.0;
   }
 
-  // B_{n+1} <- V (right-canonical by construction).
-  tensors_[n + 1].assign(k * 2 * dr, cplx{});
-  for (std::size_t r = 0; r < k; ++r)
-    for (std::size_t col = 0; col < 2 * dr; ++col)
-      tensors_[n + 1][r * (2 * dr) + col] = f.vh(r, col);
+  // B_{n+1} <- V (right-canonical by construction): V^H is contiguous
+  // k x (2*dr), exactly the site-tensor layout.
+  tensors_[n + 1].assign(f.vh, f.vh + k * cols);
   dl_[n + 1] = k;
 
-  // Eq. (10): B_n <- M V^dagger (on the unweighted M), renormalized to keep
-  // the state at unit norm after truncation.
+  // Eq. (10): B_n <- M V^dagger (on the unweighted M), written straight into
+  // the site storage and renormalized in place to keep the state at unit
+  // norm after truncation.
   {
     OBS_SPAN("mps/contract");
-    la::CMatrix bnew = la::matmul(mm, f.vh, la::Op::kNone, la::Op::kAdjoint,
-                                  options_.parallel);
-    tensors_[n].assign(dl * 2 * k, cplx{});
-    for (std::size_t r = 0; r < dl * 2; ++r)
-      for (std::size_t col = 0; col < k; ++col)
-        tensors_[n][r * k + col] = bnew(r, col) * norm_scale;
+    tensors_[n].assign(rows * k, cplx{});
+    la::gemm_raw(rows, cols, k, mm.data(), cols, la::Op::kNone, f.vh, cols,
+                 la::Op::kAdjoint, tensors_[n].data(), k, options_.parallel);
+    for (auto& z : tensors_[n]) z *= norm_scale;
     dr_[n] = k;
   }
   const double restore_seconds = hotspot_timer.seconds();
@@ -287,12 +306,23 @@ void Mps::run(const circ::Circuit& c, const std::vector<double>& params) {
 namespace {
 
 // Transfer E across one site: E' = sum_{i',i} P[i',i] B_{i'}^dagger (E B_i).
+// The fixed-physical-index slice B_i of the (a, i, b) site tensor is fed to
+// the packed kernel through an offset table — row a of B_i sits at flat
+// offset (a*2 + i)*dr — instead of being copied out. Only the adjoint
+// operand B_{i'} is still materialized: offset tables cannot fold the
+// conjugation.
 la::CMatrix transfer(const la::CMatrix& e, const std::vector<cplx>& t,
                      std::size_t dl, std::size_t dr, const cplx p[4]) {
   la::CMatrix out(dr, dr);
+  std::vector<std::size_t> e_row(e.rows()), e_col(dl), b_row(dl), b_col(dr);
+  for (std::size_t r = 0; r < e.rows(); ++r) e_row[r] = r * e.cols();
+  std::iota(e_col.begin(), e_col.end(), std::size_t{0});
+  std::iota(b_col.begin(), b_col.end(), std::size_t{0});
   for (int i = 0; i < 2; ++i) {
-    la::CMatrix bi = slice(t, dl, dr, i);
-    la::CMatrix ebi = la::matmul(e, bi);
+    for (std::size_t a = 0; a < dl; ++a)
+      b_row[a] = (a * 2 + std::size_t(i)) * dr;
+    la::CMatrix ebi = la::gemm_offsets(e.rows(), dl, dr, e.data(), e_row,
+                                       e_col, t.data(), b_row, b_col);
     for (int ip = 0; ip < 2; ++ip) {
       const cplx coeff = p[ip * 2 + i];
       if (coeff == cplx{}) continue;
@@ -351,23 +381,22 @@ cplx Mps::expectation(const pauli::QubitOperator& op) const {
 std::vector<cplx> Mps::to_statevector() const {
   require(n_ <= 24, "Mps::to_statevector: too many qubits");
   // Accumulate left-to-right: rows enumerate (i_0 ... i_s) with i_0 slowest.
+  // The (a, i, b) -> (a, (i b)) regrouping is the identity on the flat
+  // row-major storage, so each site tensor feeds the packed kernel in place
+  // as a dl x (2*dr) matrix, and the (rows, 2*dr) -> (2*rows, dr) reshape is
+  // a reinterpretation of the contiguous product — no staging copies.
   std::size_t rows = 1;
-  la::CMatrix acc(1, dl_[0]);
-  acc(0, 0) = 1.0;
+  std::vector<cplx> acc(dl_[0], cplx{});
+  acc[0] = 1.0;
+  std::vector<cplx> next;
   for (int s = 0; s < n_; ++s) {
     const std::size_t dl = dl_[s], dr = dr_[s];
-    la::CMatrix site(dl, 2 * dr);
-    // reorder (a,i,b) -> rows a, cols (i*dr + b)
-    for (std::size_t a = 0; a < dl; ++a)
-      for (int i = 0; i < 2; ++i)
-        for (std::size_t b = 0; b < dr; ++b)
-          site(a, std::size_t(i) * dr + b) =
-              tensors_[s][(a * 2 + std::size_t(i)) * dr + b];
-    la::CMatrix next = la::matmul(acc, site);  // (rows, 2*dr)
+    next.resize(rows * 2 * dr);
+    la::gemm_raw(rows, dl, 2 * dr, acc.data(), dl, la::Op::kNone,
+                 tensors_[s].data(), 2 * dr, la::Op::kNone, next.data(),
+                 2 * dr);
     rows *= 2;
-    la::CMatrix re(rows, dr);
-    std::copy(next.data(), next.data() + next.size(), re.data());
-    acc = std::move(re);
+    acc.swap(next);
   }
   // acc is (2^n, 1) with site 0 as the most significant index; remap to the
   // state-vector convention (qubit q at bit q).
@@ -376,7 +405,7 @@ std::vector<cplx> Mps::to_statevector() const {
     std::size_t sv = 0;
     for (int q = 0; q < n_; ++q)
       if ((j >> (n_ - 1 - q)) & 1) sv |= std::size_t(1) << q;
-    out[sv] = acc(j, 0);
+    out[sv] = acc[j];
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "linalg/svd.hpp"
 #include "parallel/parallel_options.hpp"
 #include "pauli/qubit_operator.hpp"
 
@@ -35,6 +36,9 @@ struct MpsProfile {
   double contraction_seconds = 0.0;
   double svd_seconds = 0.0;
   std::size_t gates_applied = 0;
+  /// Jacobi sweeps accumulated over all two-site updates (also exported as
+  /// the "mps.svd_sweeps" counter) — convergence behaviour, not just time.
+  std::size_t svd_sweeps = 0;
 };
 
 /// Complete serializable simulator state, produced/consumed by the checkpoint
@@ -102,6 +106,17 @@ class Mps {
   void apply_two_adjacent(int left_site, const std::array<cplx, 16>& m_hi_lo,
                           bool left_is_hi);
 
+  // Per-instance scratch for the two-site update: the contracted tensor M,
+  // the Eq. (8) row weights, and the SVD workspace. Reused across gates so
+  // the hot path stops allocating (five heap matrices per gate before this);
+  // buffers grow to the largest bond shape seen and stay there. Safe because
+  // an engine instance is single-threaded by contract (see below).
+  struct TwoSiteScratch {
+    std::vector<cplx> m;            // M[(a i), (j b)], (dl*2) x (2*dr)
+    std::vector<double> row_scale;  // lambda[a] replicated over i
+    la::SvdWorkspace svd;
+  };
+
   // B tensor storage: tensors_[k] has shape (dl_[k], 2, dr_[k]), row-major
   // flattening index = (a * 2 + i) * dr + b.
   int n_;
@@ -110,6 +125,7 @@ class Mps {
   std::vector<std::size_t> dl_, dr_;
   std::vector<std::vector<double>> lambda_;  // lambda_[k]: bond between k,k+1
   double truncation_error_ = 0.0;
+  TwoSiteScratch scratch_;
   // Mutated only by the (non-const) apply paths. An engine instance is
   // single-threaded by contract: gate application, truncation accounting and
   // this profile are all unsynchronized. Concurrent drivers (distributed VQE,

@@ -4,7 +4,7 @@
 
 #include "circuit/routing.hpp"
 #include "linalg/gemm.hpp"
-#include "linalg/svd.hpp"
+#include "linalg/svd_reference.hpp"
 
 namespace q2::sim {
 namespace {
@@ -98,9 +98,11 @@ void ReferenceMps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
   // singular values are not the state's Schmidt values, so this truncation
   // is uncontrolled — the straightforward-implementation behaviour the
   // optimized engine's Eq. (8) reweighting fixes. The decomposition itself
-  // goes through the one-sided Jacobi path, the reference-LAPACK analogue
-  // of the paper's swBLAS-vs-LAPACK-3.2 comparison.
-  const la::SvdResult full = la::svd_jacobi(mm);
+  // goes through the frozen scalar Jacobi oracle, the reference-LAPACK
+  // analogue of the paper's swBLAS-vs-LAPACK-3.2 comparison — kept
+  // independent of the optimized engine so the differential tests compare
+  // two genuinely distinct implementations.
+  const la::SvdResult full = la::svd_jacobi_reference(mm);
   double total = 0;
   for (double s : full.s) total += s * s;
   std::size_t k = std::min(options_.max_bond, full.s.size());

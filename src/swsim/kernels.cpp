@@ -1,9 +1,11 @@
 #include "swsim/kernels.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
 #include "linalg/gemm.hpp"
+#include "linalg/qr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -152,71 +154,68 @@ la::SvdResult svd_cpe(CpeCluster& cluster, const la::CMatrix& a_in,
     return r;
   }
 
-  la::CMatrix a = a_in;
-  const std::size_t m = a.rows(), n = a.cols();
+  // Division of labour mirrors the host engine: the MPE factors B = Q R once
+  // (Householder QR), the CPE mesh then iterates Jacobi on the small n x n
+  // X = R^H — rotations touch n-vectors instead of m-vectors, and the
+  // triangular factor converges in far fewer sweeps than raw tall panels.
+  const la::QrResult f = la::qr(a_in);
+  const std::size_t n = a_in.cols();
+  la::CMatrix x = f.r.adjoint();
   la::CMatrix v = la::CMatrix::identity(n);
 
-  // Round-robin tournament: pad to even count; slot 0 fixed, others rotate.
-  const std::size_t ne = n + (n % 2);
-  std::vector<std::size_t> ring(ne);
-  std::iota(ring.begin(), ring.end(), 0);
-
+  // Shared tournament schedule (modulus ordering): pairs within a round are
+  // disjoint, so the mesh rotates a whole round concurrently.
+  const auto rounds = la::tournament_rounds(n);
   constexpr int kMaxSweeps = 60;
   std::atomic<bool> any_off{false};
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
     svd_sweep_counter().add();
     any_off = false;
-    std::vector<std::size_t> pos = ring;
-    for (std::size_t round = 0; round + 1 < ne; ++round) {
-      // Disjoint pairs this round: (pos[0], pos[ne-1]), (pos[1], pos[ne-2])...
-      std::vector<std::pair<std::size_t, std::size_t>> pairs;
-      for (std::size_t i = 0; i < ne / 2; ++i) {
-        std::size_t p = pos[i], q = pos[ne - 1 - i];
-        if (p >= n || q >= n) continue;  // padding slot
-        if (p > q) std::swap(p, q);
-        pairs.emplace_back(p, q);
-      }
+    for (const auto& round : rounds) {
       cluster.spawn(config, [&](CpeContext& ctx) {
-        for (std::size_t i = ctx.cpe_id(); i < pairs.size();
+        for (std::size_t i = ctx.cpe_id(); i < round.size();
              i += std::size_t(config.num_cpes)) {
-          const double rel = rotate_pair_cpe(ctx, a, v, pairs[i].first,
-                                             pairs[i].second);
+          const double rel =
+              rotate_pair_cpe(ctx, x, v, round[i].first, round[i].second);
           if (rel >= 1e-14) any_off = true;
         }
       });
-      // Rotate the ring (keep slot 0 fixed).
-      std::size_t last = pos[ne - 1];
-      for (std::size_t i = ne - 1; i >= 2; --i) pos[i] = pos[i - 1];
-      pos[1] = last;
     }
     if (!any_off) break;
   }
 
-  // Extract singular values/vectors exactly as the serial path does.
+  // Column norms of the rotated X are the singular values.
   std::vector<double> s(n);
   for (std::size_t j = 0; j < n; ++j) {
     double nrm = 0;
-    for (std::size_t i = 0; i < m; ++i) nrm += norm2(a(i, j));
+    for (std::size_t i = 0; i < n; ++i) nrm += norm2(x(i, j));
     s[j] = std::sqrt(nrm);
   }
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+                   [&](std::size_t p, std::size_t q) { return s[p] > s[q]; });
 
-  la::SvdResult r;
-  r.u = la::CMatrix(m, n);
-  r.s.resize(n);
-  r.vh = la::CMatrix(n, n);
-  for (std::size_t jj = 0; jj < n; ++jj) {
-    const std::size_t j = order[jj];
-    r.s[jj] = s[j];
-    if (s[j] > 0) {
-      for (std::size_t i = 0; i < m; ++i) r.u(i, jj) = a(i, j) / s[j];
-    }
-    for (std::size_t i = 0; i < n; ++i) r.vh(jj, i) = std::conj(v(i, j));
+  // B = Q X^H = (Q V_X) S U_X^H: the left factor takes one more pass over
+  // the mesh (gemm_cpe on Q and the sorted rotation accumulator), the right
+  // factor falls out of X's columns. A zero singular value leaves its V^H
+  // row zero; U stays orthonormal since Q and V_X are exact unitaries.
+  la::CMatrix vperm(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t i = 0; i < n; ++i) vperm(i, r) = v(i, order[r]);
+
+  la::SvdResult out;
+  out.u = gemm_cpe(cluster, f.q, vperm, config);
+  out.s.resize(n);
+  out.vh = la::CMatrix(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t j = order[r];
+    out.s[r] = s[j];
+    if (s[j] > 0)
+      for (std::size_t i = 0; i < n; ++i)
+        out.vh(r, i) = std::conj(x(i, j)) / s[j];
   }
-  return r;
+  return out;
 }
 
 }  // namespace q2::sw

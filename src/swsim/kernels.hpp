@@ -16,8 +16,10 @@ namespace q2::sw {
 la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
                      const la::CMatrix& b, const SpawnConfig& config = {});
 
-/// One-sided Jacobi SVD where each sweep's disjoint column pairs (round-robin
-/// tournament ordering) are rotated in parallel across the CPE mesh.
+/// QR-preconditioned one-sided Jacobi SVD in the MPE+CPE split: the MPE
+/// factors A = QR once, then each sweep's disjoint column pairs of X = R^H
+/// (the shared la::tournament_rounds schedule) are rotated in parallel
+/// across the CPE mesh, and U = Q V_X is recovered with one gemm_cpe pass.
 la::SvdResult svd_cpe(CpeCluster& cluster, const la::CMatrix& a,
                       const SpawnConfig& config = {});
 

@@ -178,6 +178,25 @@ TEST(Svd, RankDeficientMatrixKeepsOrthonormalU) {
   EXPECT_LT(reconstruction_error(a, f), 1e-8);
 }
 
+TEST(Svd, JacobiZeroColumnsCompleteNullSpace) {
+  // Regression for the rebuilt null-vector completion: several dead columns
+  // force multiple completions against the same partial basis, the case the
+  // old per-probe full-MGS implementation handled quadratically.
+  Rng rng(23);
+  CMatrix a = random_matrix(10, 6, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    a(i, 1) = 0.0;
+    a(i, 4) = 0.0;
+  }
+  const SvdResult f = svd_jacobi(a);
+  ASSERT_EQ(f.s.size(), 6u);
+  EXPECT_EQ(f.s[4], 0.0);
+  EXPECT_EQ(f.s[5], 0.0);
+  EXPECT_LT(orthonormality_error(f.u), 1e-9);
+  EXPECT_LT(orthonormality_error(f.vh.adjoint()), 1e-9);
+  EXPECT_LT(reconstruction_error(a, f), 1e-9 * (1 + a.frobenius_norm()));
+}
+
 TEST(Svd, DiagonalMatrixSingularValues) {
   CMatrix a(3, 3);
   a(0, 0) = 3.0;
@@ -211,6 +230,45 @@ TEST(SvdTruncated, CutoffDropsSmallValues) {
   a(3, 3) = 1e-12;
   const TruncatedSvd t = svd_truncated(a, 4, 1e-6);
   EXPECT_EQ(t.s.size(), 2u);
+}
+
+TEST(SvdTruncated, DegenerateTieAtMaxRankKeepsStableOrder) {
+  // Three singular values are exactly equal; max_rank splits the tie. The
+  // stable descending sort must keep the tied columns in their original
+  // order, so the kept set — and therefore the retained subspace — is
+  // deterministic: column 1 stays, columns 2 and 3 go.
+  CMatrix a(5, 5);
+  a(0, 0) = 1.0;
+  a(1, 1) = 0.5;
+  a(2, 2) = 0.5;
+  a(3, 3) = 0.5;
+  a(4, 4) = 0.2;
+  const TruncatedSvd t = svd_truncated(a, 2);
+  ASSERT_EQ(t.s.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.s[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.s[1], 0.5);
+  // The second kept right-singular vector is e_1, the first of the tied trio.
+  EXPECT_NEAR(std::abs(t.vh(1, 1)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(t.vh(1, 2)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(t.vh(1, 3)), 0.0, 1e-12);
+  // Dropped weight accounted exactly once: the two discarded 0.5s plus 0.2.
+  const double total = 1.0 + 3 * 0.25 + 0.04;
+  EXPECT_NEAR(t.truncation_error, (2 * 0.25 + 0.04) / total, 1e-12);
+}
+
+TEST(SvdTruncated, DegenerateValuesExactlyAtCutoffDropTogether) {
+  // Values sitting exactly on the cutoff boundary are dropped (<=), and a
+  // degenerate pair at the boundary drops as a unit — no half-kept ties.
+  CMatrix a(4, 4);
+  a(0, 0) = 1.0;
+  a(1, 1) = 0.5;
+  a(2, 2) = 0.5;
+  a(3, 3) = 1e-9;
+  const TruncatedSvd t = svd_truncated(a, 4, 0.5);
+  ASSERT_EQ(t.s.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.s[0], 1.0);
+  const double total = 1.0 + 0.5 + 1e-18;
+  EXPECT_NEAR(t.truncation_error, (2 * 0.25 + 1e-18) / total, 1e-12);
 }
 
 TEST(Eigh, HermitianRandomMatrix) {
@@ -258,6 +316,19 @@ TEST(Qr, ThinFactorization) {
   for (std::size_t i = 0; i < f.r.rows(); ++i)
     for (std::size_t j = 0; j < i && j < f.r.cols(); ++j)
       EXPECT_LT(std::abs(f.r(i, j)), 1e-10);
+}
+
+TEST(Qr, RankDeficientPanelStaysOrthonormal) {
+  // An exactly dependent column zeroes a diagonal entry of R; the Householder
+  // factorization must still return a fully orthonormal Q (the degenerate
+  // reflector is the identity) and reproduce A.
+  Rng rng(43);
+  CMatrix a = random_matrix(7, 4, rng);
+  for (std::size_t i = 0; i < 7; ++i) a(i, 2) = 2.0 * a(i, 0);
+  const QrResult f = qr(a);
+  EXPECT_LT(orthonormality_error(f.q), 1e-10);
+  EXPECT_LT((matmul(f.q, f.r) - a).frobenius_norm(), 1e-10);
+  EXPECT_LT(std::abs(f.r(2, 2)), 1e-12 * a.frobenius_norm());
 }
 
 TEST(Qr, RandomUnitaryIsUnitary) {
