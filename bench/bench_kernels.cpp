@@ -12,6 +12,7 @@
 #include <cstring>
 #include <functional>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "circuit/builder.hpp"
@@ -143,7 +144,10 @@ double time_best_of(int reps, const std::function<void()>& fn) {
   return best;
 }
 
-int run_gemm_sweep(const std::string& report_name) {
+// `quick` trims the sweep to <= 256 and relaxes the speedup floor — the shape
+// the ctest `perf` label runs through tools/bench_diff, where wall time and
+// noise tolerance matter more than the full 512 trajectory point.
+int run_gemm_sweep(const std::string& report_name, bool quick) {
   bench::BenchReport report(report_name);
   const unsigned cores = std::thread::hardware_concurrency();
   report.set("hardware_threads", double(cores));
@@ -152,8 +156,16 @@ int run_gemm_sweep(const std::string& report_name) {
   bench::header("GEMM sweep: packed blocked kernel vs naive reference");
   bench::row({"size", "naive (s)", "blocked 1T (s)", "speedup", "2T (s)",
               "4T (s)"});
-  double speedup_512 = 0, scaling_1_to_4 = 0;
-  for (const std::size_t n : {128u, 256u, 512u}) {
+  // The quick floor is deliberately loose: at 256 the blocked kernel's edge
+  // over naive is smaller and noisier than at 512, and the cross-run trend is
+  // bench_diff's job. The in-binary floor only catches catastrophic breakage.
+  const std::size_t floor_n = quick ? 256 : 512;
+  const double speedup_floor = quick ? 1.3 : 3.0;
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{128, 256}
+            : std::vector<std::size_t>{128, 256, 512};
+  double speedup_at_floor = 0, scaling_1_to_4 = 0;
+  for (const std::size_t n : sizes) {
     const la::CMatrix a = random_matrix(n, n, 11), b = random_matrix(n, n, 12);
     const int reps = n <= 256 ? 3 : 1;
 
@@ -199,29 +211,33 @@ int run_gemm_sweep(const std::string& report_name) {
     report.set("gemm_" + std::to_string(n) + "_blocked_4t_s", t4);
     report.set("gemm_" + std::to_string(n) + "_gflops_1t",
                8.0 * double(n) * double(n) * double(n) / t1 / 1e9);
-    if (n == 512u) {
-      speedup_512 = t_naive / t1;
+    if (n == floor_n) {
+      speedup_at_floor = t_naive / t1;
       scaling_1_to_4 = t1 / t4;
     }
   }
-  report.set("speedup_vs_naive_512", speedup_512);
-  report.set("scaling_1_to_4_threads_512", scaling_1_to_4);
+  report.set("speedup_vs_naive_" + std::to_string(floor_n), speedup_at_floor);
+  report.set("scaling_1_to_4_threads_" + std::to_string(floor_n),
+             scaling_1_to_4);
 
   // Perf floor assertions (the ISSUE acceptance bar).
   std::printf(
-      "\n512^3 complex: blocked vs naive %.2fx (floor 3x), "
-      "1->4 thread scaling %.2fx (floor 2.5x on >= 4 cores)\n",
-      speedup_512, scaling_1_to_4);
-  if (speedup_512 < 3.0) {
-    std::printf("FAIL: single-thread speedup below the 3x floor\n");
+      "\n%zu^3 complex: blocked vs naive %.2fx (floor %.1fx), "
+      "1->4 thread scaling %.2fx\n",
+      floor_n, speedup_at_floor, speedup_floor, scaling_1_to_4);
+  if (speedup_at_floor < speedup_floor) {
+    std::printf("FAIL: single-thread speedup below the %.1fx floor\n",
+                speedup_floor);
     ok = false;
   }
-  if (cores >= 4) {
+  // Scaling at <= 256 is too noise-prone for a CI gate: quick mode records
+  // it and lets bench_diff's ratio tolerance judge the trend instead.
+  if (!quick && cores >= 4) {
     if (scaling_1_to_4 < 2.5) {
       std::printf("FAIL: 1->4 thread scaling below the 2.5x floor\n");
       ok = false;
     }
-  } else {
+  } else if (!quick) {
     std::printf(
         "note: host has %u hardware thread(s); the 2.5x scaling floor is "
         "only asserted on >= 4 cores\n",
@@ -238,18 +254,26 @@ int run_gemm_sweep(const std::string& report_name) {
 int main(int argc, char** argv) {
   q2::bench::init(argc, argv);
   // A `--json=BENCH_<name>.json` flag switches to the asserting GEMM sweep,
-  // which records a perf-trajectory point via BenchReport.
+  // which records a perf-trajectory point via BenchReport; `--quick` trims
+  // it to the ctest-perf-label shape.
+  bool quick = false;
+  std::string json_name;
+  bool has_json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
     if (arg.rfind("--json=", 0) == 0) {
+      has_json = true;
       std::string name = arg.substr(7);
       // BenchReport writes BENCH_<name>.json; accept either spelling.
       if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
       const std::size_t dot = name.rfind(".json");
       if (dot != std::string::npos) name = name.substr(0, dot);
-      return run_gemm_sweep(name.empty() ? "gemm" : name);
+      json_name = name;
     }
   }
+  if (has_json)
+    return run_gemm_sweep(json_name.empty() ? "gemm" : json_name, quick);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -12,11 +12,30 @@
 #include "sim/mps.hpp"
 #include "vqe/uccsd.hpp"
 
+namespace {
+
+// Total wall time (seconds) of every profile node with this span name, summed
+// across call paths. With the run pinned to one thread the sums are disjoint
+// slices of the wall clock, so share-of-total is well defined.
+double span_seconds(const std::vector<q2::obs::ProfileNode>& nodes,
+                    const char* name) {
+  double us = 0;
+  for (const auto& node : nodes)
+    if (node.name == name) us += node.total_us;
+  return us * 1e-6;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace q2;
   bench::init(argc, argv);
   bench::BenchReport report("profile");
   Rng rng(3);
+
+  // The hotspot split now comes from the span-aggregation profile (the same
+  // tree `--profile=` exports) instead of the ad-hoc MpsProfile stopwatches.
+  obs::set_profiling(true);
 
   bench::header("IV-B: MPS hotspot split (contraction vs SVD)");
   bench::row({"qubits", "D", "contraction %", "SVD %", "other %"});
@@ -32,20 +51,24 @@ int main(int argc, char** argv) {
         circ::route_to_nearest_neighbour(ansatz.circuit);
     sim::MpsOptions mo;
     mo.max_bond = 32;
+    mo.parallel.n_threads = 1;  // keep span totals disjoint wall-clock slices
+    obs::clear_profile();
     Timer t;
     sim::Mps mps(routed.n_qubits(), mo);
     mps.run(routed, params);
     const double total = t.seconds();
-    const sim::MpsProfile& p = mps.profile();
+    const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+    const double contraction_s = span_seconds(nodes, "mps/contract");
+    const double svd_s = span_seconds(nodes, "mps/svd");
     bench::row({std::to_string(routed.n_qubits()),
                 std::to_string(mps.max_bond_dimension()),
-                bench::fmt(100 * p.contraction_seconds / total, 1),
-                bench::fmt(100 * p.svd_seconds / total, 1),
-                bench::fmt(100 * (total - p.contraction_seconds - p.svd_seconds) / total, 1)});
+                bench::fmt(100 * contraction_s / total, 1),
+                bench::fmt(100 * svd_s / total, 1),
+                bench::fmt(100 * (total - contraction_s - svd_s) / total, 1)});
     if (atoms == 64) {
       report.set("hotspot_qubits", routed.n_qubits());
-      report.set("contraction_share", p.contraction_seconds / total);
-      report.set("svd_share", p.svd_seconds / total);
+      report.set("contraction_share", contraction_s / total);
+      report.set("svd_share", svd_s / total);
     }
   }
   std::printf(

@@ -10,6 +10,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "circuit/builder.hpp"
@@ -44,7 +45,9 @@ std::string shape_key(std::size_t m, std::size_t n, std::size_t d) {
          std::to_string(d);
 }
 
-int run(const std::string& report_name) {
+// `quick` trims the sweep to <= 256x256 shapes and relaxes the speedup
+// floor — the shape the ctest `perf` label runs through tools/bench_diff.
+int run(const std::string& report_name, bool quick) {
   bench::BenchReport report(report_name);
   const unsigned cores = std::thread::hardware_concurrency();
   report.set("hardware_threads", double(cores));
@@ -58,9 +61,22 @@ int run(const std::string& report_name) {
   struct Shape {
     std::size_t m, n;
   };
-  double floor_speedup = 0;  // 512x512 @ max_bond 64
-  for (const Shape shape : {Shape{128, 128}, Shape{256, 256}, Shape{512, 128},
-                            Shape{128, 512}, Shape{512, 512}}) {
+  // The quick floor is deliberately loose: the engine's edge over the scalar
+  // reference is smaller at 256 than at 512, and the cross-run trend is
+  // bench_diff's job. The in-binary floor only catches catastrophic breakage.
+  const std::size_t floor_mn = quick ? 256 : 512;
+  const double speedup_floor = quick ? 1.8 : 3.0;
+  const std::vector<Shape> shapes =
+      quick ? std::vector<Shape>{{128, 128}, {256, 256}}
+            : std::vector<Shape>{{128, 128},
+                                 {256, 256},
+                                 {512, 128},
+                                 {128, 512},
+                                 {512, 512}};
+  const std::vector<unsigned> fracs =
+      quick ? std::vector<unsigned>{4u, 2u} : std::vector<unsigned>{8u, 4u, 2u};
+  double floor_speedup = 0;  // floor_mn^2 @ max_bond 64
+  for (const Shape shape : shapes) {
     const std::size_t m = shape.m, n = shape.n;
     const std::size_t k = std::min(m, n);
     const la::CMatrix a = random_matrix(m, n, 21);
@@ -75,7 +91,7 @@ int run(const std::string& report_name) {
     report.set("ref_" + std::to_string(m) + "x" + std::to_string(n) + "_s",
                t_ref);
 
-    for (const std::size_t frac : {8u, 4u, 2u}) {
+    for (const std::size_t frac : fracs) {
       const std::size_t max_bond = std::max<std::size_t>(1, k / frac);
       const int reps = k <= 256 ? 3 : 2;
 
@@ -122,29 +138,32 @@ int run(const std::string& report_name) {
       report.set("svd_" + key + "_new_1t_s", t_new);
       report.set("svd_" + key + "_speedup_vs_ref", speedup);
       report.set("svd_" + key + "_sweeps", double(f.sweeps));
-      if (m == 512 && n == 512 && max_bond == 64) floor_speedup = speedup;
+      if (m == floor_mn && n == floor_mn && max_bond == 64)
+        floor_speedup = speedup;
     }
   }
 
-  report.set("speedup_vs_reference_512_d64", floor_speedup);
+  report.set("speedup_vs_reference_" + std::to_string(floor_mn) + "_d64",
+             floor_speedup);
   std::printf(
-      "\n512x512 complex @ max_bond 64: new engine vs scalar reference "
-      "%.2fx (floor 3x)\n",
-      floor_speedup);
-  if (floor_speedup < 3.0) {
-    std::printf("FAIL: single-thread speedup below the 3x floor\n");
+      "\n%zux%zu complex @ max_bond 64: new engine vs scalar reference "
+      "%.2fx (floor %.1fx)\n",
+      floor_mn, floor_mn, floor_speedup, speedup_floor);
+  if (floor_speedup < speedup_floor) {
+    std::printf("FAIL: single-thread speedup below the %.1fx floor\n",
+                speedup_floor);
     ok = false;
   }
 
   // --- MPS gate throughput (the consumer of the truncated SVD) -------------
-  bench::header("MPS two-qubit gate throughput (brickwork, D = 64)");
+  bench::header("MPS two-qubit gate throughput (brickwork)");
   {
-    const int n_qubits = 16;
+    const int n_qubits = quick ? 10 : 16;
     Rng rng(31);
     sim::MpsOptions opts;
-    opts.max_bond = 64;
+    opts.max_bond = quick ? 32 : 64;
     sim::Mps mps(n_qubits, opts);
-    mps.run(circ::brickwork_circuit(n_qubits, 8, rng));  // saturate bonds
+    mps.run(circ::brickwork_circuit(n_qubits, quick ? 4 : 8, rng));
     const circ::Circuit layer = circ::brickwork_circuit(n_qubits, 2, rng);
     const double t_layers = time_best_of(3, [&] { mps.run(layer); });
     const double gates_per_s = double(layer.size()) / t_layers;
@@ -173,8 +192,10 @@ int run(const std::string& report_name) {
 int main(int argc, char** argv) {
   q2::bench::init(argc, argv);
   std::string name = "svd";
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
     if (arg.rfind("--json=", 0) == 0) {
       name = arg.substr(7);
       if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
@@ -183,5 +204,5 @@ int main(int argc, char** argv) {
       if (name.empty()) name = "svd";
     }
   }
-  return run(name);
+  return run(name, quick);
 }

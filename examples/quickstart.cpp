@@ -3,12 +3,15 @@
 // UCCSD MPS-VQE -> comparison against FCI.
 //
 //   ./quickstart [--trace=FILE] [--report=FILE] [--metrics=FILE]
-//                [--threads=N] [bond_length_bohr]
+//                [--profile=FILE] [--threads=N] [bond_length_bohr]
 //
 // --trace= writes a Chrome trace (open in chrome://tracing or Perfetto),
-// --report= a JSONL run report with per-iteration VQE energies, and
-// --metrics= a JSON dump of the global counters. The Q2_TRACE / Q2_REPORT /
-// Q2_METRICS environment variables do the same.
+// --report= a JSONL run report with per-iteration VQE energies,
+// --metrics= a JSON dump of the global counters, and --profile= a
+// hierarchical call-tree profile with GFLOP/s and arithmetic-intensity
+// roofline accounting (JSON tree to FILE, aligned table to stderr). The
+// Q2_TRACE / Q2_REPORT / Q2_METRICS / Q2_PROFILE environment variables do
+// the same.
 #include <cstdio>
 #include <cstdlib>
 

@@ -4,6 +4,8 @@
 #include <complex>
 #include <type_traits>
 
+#include "obs/trace.hpp"
+#include "obs/workload.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace q2::la {
@@ -148,6 +150,7 @@ template <typename T, class ViewA, class ViewB>
 void gemm_blocked(std::size_t m, std::size_t k, std::size_t n, T alpha,
                   const ViewA& av, const ViewB& bv, T beta, T* c,
                   std::size_t ldc, const par::ParallelOptions& opts) {
+  OBS_SPAN("la/gemm");
   if (beta == T{}) {
     for (std::size_t i = 0; i < m; ++i)
       std::fill(c + i * ldc, c + i * ldc + n, T{});
@@ -156,6 +159,10 @@ void gemm_blocked(std::size_t m, std::size_t k, std::size_t n, T alpha,
       for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
   }
   if (m == 0 || n == 0 || k == 0) return;
+  // Charged before the dispatch, on the calling thread: totals are
+  // bit-identical at every thread count (see obs/workload.hpp).
+  obs::WorkCounter::charge(obs::gemm_flops(m, k, n, !std::is_same_v<T, double>),
+                           obs::gemm_bytes(m, k, n, sizeof(T)));
 
   constexpr std::size_t MR = Micro<T>::MR;
   constexpr std::size_t NR = Micro<T>::NR;

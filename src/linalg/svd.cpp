@@ -7,6 +7,8 @@
 
 #include "linalg/gemm.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/workload.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace q2::la {
@@ -175,6 +177,8 @@ int tournament_jacobi(SvdWorkspace& ws, std::size_t nw, std::size_t len,
     // updates are exact in exact arithmetic but would drift over sweeps.
     for (std::size_t j = 0; j < nw; ++j)
       ws.colnorm[j] = norm2_blocked(ws.w.data() + j * len, len);
+    obs::WorkCounter::charge(obs::jacobi_norm_flops(nw, len),
+                             obs::jacobi_norm_bytes(nw, len));
     // De Rijk relabeling: map schedule slots onto columns sorted by
     // descending norm for this sweep. Pairing heavy columns with their
     // norm-neighbours first measurably cuts the sweep count, and the
@@ -201,7 +205,17 @@ int tournament_jacobi(SvdWorkspace& ws, std::size_t nw, std::size_t len,
       }
       // max() is order-independent, so reducing the per-pair slots in index
       // order gives the same answer for every schedule of the round.
-      for (const double r : ws.rel) off_max = std::max(off_max, r);
+      // The rotated count is also read off the slots: a pair rotated iff its
+      // rel cleared kRotateTol, which is schedule-determined — so the work
+      // charge is deterministic regardless of how the round was dispatched.
+      std::size_t rotated = 0;
+      for (const double r : ws.rel) {
+        off_max = std::max(off_max, r);
+        if (r >= kRotateTol) ++rotated;
+      }
+      obs::WorkCounter::charge(
+          obs::jacobi_round_flops(round.size(), rotated, len, nw),
+          obs::jacobi_round_bytes(round.size(), rotated, len, nw));
     }
     if (off_max < kSweepTol) break;
   }
@@ -517,6 +531,7 @@ TruncatedSpectrum svd_truncated_ws(SvdWorkspace& ws, const cplx* a,
                                    std::size_t max_rank, double cutoff,
                                    bool want_u,
                                    const par::ParallelOptions& parallel) {
+  OBS_SPAN("la/svd");
   require(a != nullptr && m > 0 && n > 0, "svd_truncated_ws: empty operand");
   require(lda >= n, "svd_truncated_ws: lda < n");
   require(max_rank >= 1, "svd_truncated_ws: max_rank must be positive");
@@ -551,6 +566,7 @@ TruncatedSpectrum svd_truncated_ws(SvdWorkspace& ws, const cplx* a,
 }
 
 SvdResult svd_jacobi(const CMatrix& a, const par::ParallelOptions& parallel) {
+  OBS_SPAN("la/svd");
   require(!a.empty(), "svd_jacobi: empty matrix");
   // A fresh workspace per call: the convenience wrappers must stay safe
   // against re-entry through the pool's caller-runs work stealing.

@@ -1,7 +1,10 @@
 #include "obs/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
 
 namespace q2::obs {
 
@@ -64,6 +67,174 @@ std::string json_object(const std::vector<JsonField>& fields) {
   }
   out += '}';
   return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (consume_literal("null")) return Json{};
+    if (consume_literal("true")) {
+      Json v;
+      v.type = Json::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      Json v;
+      v.type = Json::kBool;
+      return v;
+    }
+    return number();
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      Json key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.type = Json::kString;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            const unsigned code =
+                unsigned(std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            if (code > 0xFF) throw std::runtime_error("non-latin \\u escape");
+            v.string += char(code);
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("expected a number");
+    Json v;
+    v.type = Json::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return JsonParser(text).parse(); }
+
+const Json& Json::at(const std::string& key) const {
+  auto it = object.find(key);
+  if (it == object.end()) throw std::runtime_error("missing key: " + key);
+  return it->second;
 }
 
 }  // namespace q2::obs

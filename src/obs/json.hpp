@@ -1,9 +1,12 @@
-// Minimal JSON emission helpers shared by the telemetry sinks (metrics dump,
-// Chrome trace export, JSONL run reports). Emission only — parsing lives with
-// the consumers (tests parse trace output back to validate it).
+// Minimal JSON helpers shared by the telemetry sinks (metrics dump, Chrome
+// trace export, JSONL run reports, span profiles): emission primitives plus a
+// small recursive-descent parser (obs::Json) used by the consumers — tests
+// parse telemetry output back to validate it, tools/bench_diff parses
+// BENCH_*.json snapshots.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -48,5 +51,24 @@ using JsonField = std::pair<std::string, JsonValue>;
 
 /// `{"k1":v1,"k2":v2,...}` in the given order.
 std::string json_object(const std::vector<JsonField>& fields);
+
+/// Parsed JSON value: a tagged union just rich enough for telemetry output
+/// (numbers are doubles, \u escapes are limited to latin-1). Json::parse
+/// throws std::runtime_error on malformed input.
+struct Json {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  static Json parse(const std::string& text);
+
+  /// Object member access; throws std::runtime_error when the key is absent.
+  const Json& at(const std::string& key) const;
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
 
 }  // namespace q2::obs

@@ -14,6 +14,7 @@ struct Config {
   std::mutex mutex;
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
   bool atexit_registered = false;
 };
 
@@ -31,7 +32,8 @@ const char* flag_value(const char* arg, const char* name) {
   return arg + 2 + n + 1;
 }
 
-void apply(const char* trace, const char* report, const char* metrics) {
+void apply(const char* trace, const char* report, const char* metrics,
+           const char* profile) {
   Config& c = config();
   bool need_atexit = false;
   {
@@ -41,13 +43,17 @@ void apply(const char* trace, const char* report, const char* metrics) {
       set_tracing(true);
     }
     if (metrics && *metrics) c.metrics_path = metrics;
+    if (profile && *profile) {
+      c.profile_path = profile;
+      set_profiling(true);
+    }
     if (report && *report) {
       if (!RunReport::global().open(report))
         log::warn(std::string("obs: cannot open report file ") + report);
     }
     if (!c.atexit_registered &&
         (!c.trace_path.empty() || !c.metrics_path.empty() ||
-         RunReport::global().is_open())) {
+         !c.profile_path.empty() || RunReport::global().is_open())) {
       c.atexit_registered = true;
       need_atexit = true;
     }
@@ -59,13 +65,14 @@ void apply(const char* trace, const char* report, const char* metrics) {
 
 void configure_from_env() {
   apply(std::getenv("Q2_TRACE"), std::getenv("Q2_REPORT"),
-        std::getenv("Q2_METRICS"));
+        std::getenv("Q2_METRICS"), std::getenv("Q2_PROFILE"));
 }
 
 void configure_from_args(int& argc, char** argv) {
   const char* trace = nullptr;
   const char* report = nullptr;
   const char* metrics = nullptr;
+  const char* profile = nullptr;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "trace")) {
@@ -74,30 +81,50 @@ void configure_from_args(int& argc, char** argv) {
       report = v;
     } else if (const char* v = flag_value(argv[i], "metrics")) {
       metrics = v;
+    } else if (const char* v = flag_value(argv[i], "profile")) {
+      profile = v;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
   configure_from_env();  // env first, flags override
-  apply(trace, report, metrics);
+  apply(trace, report, metrics, profile);
 }
 
+// Each sink flushes independently: a failure is a warning, never a reason to
+// skip the remaining sinks (a full disk for the trace must not lose the
+// metrics, and vice versa).
 void shutdown() {
   Config& c = config();
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, profile_path;
   {
     std::lock_guard<std::mutex> lock(c.mutex);
     trace_path.swap(c.trace_path);
     metrics_path.swap(c.metrics_path);
+    profile_path.swap(c.profile_path);
   }
   if (!trace_path.empty()) {
     set_tracing(false);
-    if (write_trace_file(trace_path))
-      log::info("obs: wrote " + std::to_string(trace_event_count()) +
-                " trace events to " + trace_path);
-    else
+    if (write_trace_file(trace_path)) {
+      std::string msg = "obs: wrote " + std::to_string(trace_event_count()) +
+                        " trace events to " + trace_path;
+      if (const std::size_t dropped = trace_dropped_count())
+        msg += " (" + std::to_string(dropped) + " spans dropped at the limit)";
+      log::info(msg);
+    } else {
       log::warn("obs: cannot write trace file " + trace_path);
+    }
+  }
+  if (!profile_path.empty()) {
+    set_profiling(false);
+    if (write_profile_file(profile_path)) {
+      log::info("obs: wrote profile to " + profile_path);
+      const std::string table = profile_text();
+      std::fwrite(table.data(), 1, table.size(), stderr);
+    } else {
+      log::warn("obs: cannot write profile file " + profile_path);
+    }
   }
   if (!metrics_path.empty()) {
     std::FILE* f = std::fopen(metrics_path.c_str(), "w");

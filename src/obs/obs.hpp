@@ -1,32 +1,38 @@
 // Umbrella header and process-level wiring for the telemetry layer
-// (metrics + tracing + run reports). Examples and benches call
-// configure_from_args() first thing in main():
+// (metrics + tracing + span profiles + run reports). Examples and benches
+// call configure_from_args() first thing in main():
 //
-//   ./quickstart --trace=run.trace.json --report=run.jsonl --metrics=m.json
+//   ./quickstart --trace=run.trace.json --report=run.jsonl \
+//                --metrics=m.json --profile=p.json
 //
 // Recognized flags are stripped from argv so positional arguments keep
 // working. The same switches are honoured as environment variables
-// (Q2_TRACE / Q2_REPORT / Q2_METRICS, each naming an output file) so
-// instrumented binaries need no flag plumbing at all. Outputs are written by
-// shutdown(), which configure_from_args() registers via atexit.
+// (Q2_TRACE / Q2_REPORT / Q2_METRICS / Q2_PROFILE, each naming an output
+// file) so instrumented binaries need no flag plumbing at all. Outputs are
+// written by shutdown(), which configure_from_args() registers via atexit.
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 
 namespace q2::obs {
 
-/// Consumes --trace=FILE / --report=FILE / --metrics=FILE (and the matching
-/// Q2_* environment variables), enables the requested sinks, and registers
-/// shutdown() to run at exit.
+/// Consumes --trace=FILE / --report=FILE / --metrics=FILE / --profile=FILE
+/// (and the matching Q2_* environment variables), enables the requested
+/// sinks, and registers shutdown() to run at exit.
 void configure_from_args(int& argc, char** argv);
 
 /// Environment-only variant for binaries that do their own flag parsing.
 void configure_from_env();
 
-/// Flushes configured sinks: writes the Chrome trace and the metrics dump,
-/// closes the run report, and disables tracing. Idempotent.
+/// Flushes configured sinks: writes the Chrome trace, the profile (JSON file
+/// plus an aligned text table on stderr), and the metrics dump, then closes
+/// the run report and disables span recording. Sinks are independent — one
+/// failing to write logs a warning and the rest are still flushed.
+/// Idempotent.
 void shutdown();
 
 }  // namespace q2::obs

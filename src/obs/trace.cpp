@@ -2,16 +2,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace q2::obs {
 namespace detail {
 
-std::atomic<bool> g_tracing_enabled{false};
+std::atomic<unsigned> g_span_mask{0};
 
 namespace {
 
@@ -59,6 +61,34 @@ ThreadBuffer& local_buffer() {
   return *buffer;
 }
 
+constexpr std::size_t kDefaultTraceLimit = std::size_t(1) << 20;  // ~1M spans
+
+std::size_t env_trace_limit() {
+  static const std::size_t limit = [] {
+    if (const char* env = std::getenv("Q2_TRACE_LIMIT")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && v > 0) return std::size_t(v);
+    }
+    return kDefaultTraceLimit;
+  }();
+  return limit;
+}
+
+// 0 = use the env/default limit; set_trace_limit overrides.
+std::atomic<std::size_t> g_trace_limit{0};
+std::atomic<std::size_t> g_dropped_spans{0};
+
+std::size_t trace_limit() {
+  const std::size_t v = g_trace_limit.load(std::memory_order_relaxed);
+  return v != 0 ? v : env_trace_limit();
+}
+
+Counter& dropped_counter() {
+  static Counter& c = Registry::global().counter("trace.dropped_spans");
+  return c;
+}
+
 }  // namespace
 
 double trace_now_us() {
@@ -69,14 +99,32 @@ double trace_now_us() {
 void record_span(const char* name, double start_us, double end_us) {
   ThreadBuffer& buf = local_buffer();
   std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= trace_limit()) {
+    g_dropped_spans.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter().add();
+    return;
+  }
   buf.events.push_back({name, start_us, end_us - start_us});
 }
 
 }  // namespace detail
 
-void set_tracing(bool enabled) {
+namespace {
+
+void set_span_bit(unsigned bit, bool enabled) {
   detail::trace_epoch();  // pin the epoch before the first span
-  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+  if (enabled)
+    detail::g_span_mask.fetch_or(bit, std::memory_order_relaxed);
+  else
+    detail::g_span_mask.fetch_and(~bit, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void set_tracing(bool enabled) { set_span_bit(detail::kSpanTracing, enabled); }
+
+void set_profiling(bool enabled) {
+  set_span_bit(detail::kSpanProfiling, enabled);
 }
 
 void clear_trace() {
@@ -86,6 +134,8 @@ void clear_trace() {
     std::lock_guard<std::mutex> buf_lock(b->mutex);
     b->events.clear();
   }
+  detail::g_dropped_spans.store(0, std::memory_order_relaxed);
+  detail::dropped_counter().reset();
 }
 
 std::size_t trace_event_count() {
@@ -97,6 +147,14 @@ std::size_t trace_event_count() {
     n += b->events.size();
   }
   return n;
+}
+
+std::size_t trace_dropped_count() {
+  return detail::g_dropped_spans.load(std::memory_order_relaxed);
+}
+
+void set_trace_limit(std::size_t max_spans) {
+  detail::g_trace_limit.store(max_spans, std::memory_order_relaxed);
 }
 
 std::string trace_json() {

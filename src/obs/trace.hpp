@@ -10,10 +10,16 @@
 // directly in chrome://tracing or https://ui.perfetto.dev. Nesting is implied
 // by ts/dur containment per thread lane, exactly how Chrome renders it.
 //
-// Cost model: tracing is off by default and OBS_SPAN then costs one relaxed
-// atomic load + branch. Defining Q2_OBS_DISABLE_TRACING compiles the macro
-// out entirely. Span names must have static storage duration (string
-// literals) — only the pointer is stored.
+// The same OBS_SPAN hook also feeds the hierarchical call-tree profile (see
+// profile.hpp): a span-mask bitfield selects tracing, profiling, both, or
+// neither. Per-thread trace buffers are bounded (default ~1M spans, override
+// with Q2_TRACE_LIMIT or set_trace_limit); overflow increments the
+// trace.dropped_spans counter instead of growing without bound.
+//
+// Cost model: with both bits off OBS_SPAN costs one relaxed atomic load +
+// branch. Defining Q2_OBS_DISABLE_TRACING compiles the macro out entirely
+// (which also starves the profile of spans). Span names must have static
+// storage duration (string literals) — only the pointer is stored.
 #pragma once
 
 #include <atomic>
@@ -22,21 +28,37 @@
 namespace q2::obs {
 
 namespace detail {
-extern std::atomic<bool> g_tracing_enabled;
+inline constexpr unsigned kSpanTracing = 1u;
+inline constexpr unsigned kSpanProfiling = 2u;
+extern std::atomic<unsigned> g_span_mask;
 /// Microseconds since the process trace epoch (first telemetry use).
 double trace_now_us();
 void record_span(const char* name, double start_us, double end_us);
+// Profile hooks, defined in profile.cpp.
+void profile_enter(const char* name);
+void profile_exit(double elapsed_us);
 }  // namespace detail
 
 inline bool tracing_enabled() {
-  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+  return (detail::g_span_mask.load(std::memory_order_relaxed) &
+          detail::kSpanTracing) != 0;
+}
+inline bool profiling_enabled() {
+  return (detail::g_span_mask.load(std::memory_order_relaxed) &
+          detail::kSpanProfiling) != 0;
 }
 void set_tracing(bool enabled);
+void set_profiling(bool enabled);
 
-/// Discards every recorded span.
+/// Discards every recorded span and resets the dropped-span count.
 void clear_trace();
 /// Number of spans recorded so far (across all threads).
 std::size_t trace_event_count();
+/// Spans dropped because a thread buffer hit the trace limit.
+std::size_t trace_dropped_count();
+/// Caps each thread's trace buffer at `max_spans` events; 0 restores the
+/// default (Q2_TRACE_LIMIT env if set, else ~1M spans per thread).
+void set_trace_limit(std::size_t max_spans);
 
 /// The Chrome trace_event JSON object format:
 /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":...,"tid":...},...]}
@@ -46,14 +68,29 @@ bool write_trace_file(const std::string& path);
 
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) {
-    if (tracing_enabled()) {
+  /// `allowed` restricts which sinks may see this span: OBS_SPAN passes both
+  /// bits; OBS_SPAN_TRACE_ONLY masks profiling out so scheduler-dependent
+  /// helper spans (pool chunks/tasks) cannot perturb profile node paths.
+  explicit ScopedSpan(const char* name,
+                      unsigned allowed = detail::kSpanTracing |
+                                         detail::kSpanProfiling) {
+    const unsigned mask =
+        detail::g_span_mask.load(std::memory_order_relaxed) & allowed;
+    if (mask != 0) {
+      mask_ = mask;
       name_ = name;
       start_us_ = detail::trace_now_us();
+      if (mask & detail::kSpanProfiling) detail::profile_enter(name);
     }
   }
   ~ScopedSpan() {
-    if (name_) detail::record_span(name_, start_us_, detail::trace_now_us());
+    if (mask_ != 0) {
+      const double end_us = detail::trace_now_us();
+      if (mask_ & detail::kSpanTracing)
+        detail::record_span(name_, start_us_, end_us);
+      if (mask_ & detail::kSpanProfiling)
+        detail::profile_exit(end_us - start_us_);
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -61,15 +98,23 @@ class ScopedSpan {
  private:
   const char* name_ = nullptr;
   double start_us_ = 0.0;
+  unsigned mask_ = 0;  // bits captured at construction; 0 = span disabled
 };
 
 }  // namespace q2::obs
 
 #ifdef Q2_OBS_DISABLE_TRACING
 #define OBS_SPAN(name)
+#define OBS_SPAN_TRACE_ONLY(name)
 #else
 #define Q2_OBS_CONCAT2(a, b) a##b
 #define Q2_OBS_CONCAT(a, b) Q2_OBS_CONCAT2(a, b)
 #define OBS_SPAN(name) \
   ::q2::obs::ScopedSpan Q2_OBS_CONCAT(q2_obs_span_, __LINE__)(name)
+// Trace-lane only: never becomes a profile node. For spans whose placement
+// depends on the scheduler (which thread ran which chunk), where a profile
+// node would make the call-tree shape vary with the thread count.
+#define OBS_SPAN_TRACE_ONLY(name)                                \
+  ::q2::obs::ScopedSpan Q2_OBS_CONCAT(q2_obs_span_, __LINE__)(   \
+      name, ::q2::obs::detail::kSpanTracing)
 #endif

@@ -1,0 +1,17 @@
+#include "obs/workload.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace q2::obs {
+
+void WorkCounter::charge(std::uint64_t flops, std::uint64_t bytes) {
+  static Counter& flop_counter = Registry::global().counter("work.flops");
+  static Counter& byte_counter = Registry::global().counter("work.bytes");
+  if (flops > 0) flop_counter.add(flops);
+  if (bytes > 0) byte_counter.add(bytes);
+  if (profiling_enabled()) detail::profile_charge(flops, bytes);
+}
+
+}  // namespace q2::obs

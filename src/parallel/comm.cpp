@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
+
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 
 namespace q2::par {
 
@@ -71,20 +77,48 @@ void World::run(const std::function<void(Comm&)>& fn) const {
   auto state = std::make_shared<detail::CommState>(size_);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(size_);
+  std::vector<double> rank_seconds(size_, 0.0);
   threads.reserve(size_);
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_thread_tag("rank" + std::to_string(r));
       Comm comm(state, r);
+      Timer timer;
       try {
         fn(comm);
       } catch (...) {
         errors[r] = std::current_exception();
       }
+      rank_seconds[r] = timer.seconds();
     });
   }
   for (auto& t : threads) t.join();
   total_bytes_ = 0;
   for (auto b : state->bytes) total_bytes_ += b;
+
+  // Per-rank phase attribution: max/min/mean wall time and the imbalance
+  // ratio (slowest over mean; 1.0 = perfectly balanced ranks).
+  double max_s = 0.0, min_s = rank_seconds[0], sum_s = 0.0;
+  for (const double s : rank_seconds) {
+    max_s = std::max(max_s, s);
+    min_s = std::min(min_s, s);
+    sum_s += s;
+  }
+  const double mean_s = sum_s / double(size_);
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("comm.rank_time_max_s").set(max_s);
+  reg.gauge("comm.rank_time_min_s").set(min_s);
+  reg.gauge("comm.rank_time_mean_s").set(mean_s);
+  reg.gauge("comm.imbalance_ratio").set(mean_s > 0.0 ? max_s / mean_s : 1.0);
+  obs::RunReport::global().record(
+      "world_run", {{"ranks", size_},
+                    {"rank_seconds", rank_seconds},
+                    {"max_s", max_s},
+                    {"min_s", min_s},
+                    {"mean_s", mean_s},
+                    {"imbalance_ratio", mean_s > 0.0 ? max_s / mean_s : 1.0},
+                    {"bytes", total_bytes_}});
+
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
 }

@@ -20,6 +20,9 @@ void publish(const char* algorithm, const Schedule& s) {
   reg.gauge("scheduler.bins").set(double(s.loads.size()));
   reg.gauge("scheduler.makespan").set(s.makespan);
   reg.gauge("scheduler.efficiency").set(efficiency(s));
+  // Imbalance = makespan / ideal makespan = 1 / efficiency: 1.0 is a
+  // perfectly level schedule, 2.0 means the critical bin is twice the mean.
+  reg.gauge("scheduler.imbalance").set(1.0 / efficiency(s));
   obs::RunReport::global().record("schedule",
                                   {{"algorithm", algorithm},
                                    {"tasks", s.assignment.size()},

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace q2::par {
@@ -35,6 +36,14 @@ obs::Counter& chunk_counter() {
 /// callers alike) — the pool-occupancy signal run reports sample.
 obs::Gauge& occupancy_gauge() {
   static obs::Gauge& g = obs::Registry::global().gauge("pool.active_chunks");
+  return g;
+}
+/// Fraction of the last parallel_for's chunk slots filled with iterations:
+/// (end - begin) / (chunks * grain). Below 1.0 the final chunk is ragged —
+/// a grain mismatched to the range.
+obs::Gauge& grain_occupancy_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("pool.grain_occupancy");
   return g;
 }
 
@@ -80,7 +89,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::set_thread_tag("worker" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -113,7 +125,7 @@ bool ThreadPool::try_run_one() {
     tasks_.pop();
   }
   {
-    OBS_SPAN("pool/task");
+    OBS_SPAN_TRACE_ONLY("pool/task");
     task();
   }
   executed_counter().add();
@@ -130,6 +142,10 @@ struct ThreadPool::LoopState {
   std::size_t grain;
   const std::function<void(std::size_t)>* fn;
   std::atomic<std::size_t> active{0};  ///< chunks currently executing
+  /// Caller's open-span path at dispatch: claimants adopt it so their
+  /// pool/chunk spans aggregate under the dispatching node whichever thread
+  /// runs them.
+  obs::ProfilePath profile_path;
   std::mutex m;
   std::condition_variable done_cv;
   std::exception_ptr error;  ///< first exception thrown by a chunk
@@ -141,6 +157,7 @@ struct ThreadPool::LoopState {
 };
 
 void ThreadPool::run_chunks(LoopState& st) {
+  obs::ScopedPathAdoption adopt(st.profile_path);
   for (;;) {
     // Claim-then-mark-active would race completion (claimed but not yet
     // active looks idle), so mark active first and undo on a failed claim.
@@ -157,7 +174,7 @@ void ThreadPool::run_chunks(LoopState& st) {
     occupancy_gauge().add(1.0);
     chunk_counter().add();
     try {
-      OBS_SPAN("pool/chunk");
+      OBS_SPAN_TRACE_ONLY("pool/chunk");
       for (std::size_t i = lo; i < hi; ++i) (*st.fn)(i);
     } catch (...) {
       {
@@ -188,12 +205,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   st->end = end;
   st->grain = grain;
   st->fn = &fn;
+  st->profile_path = obs::current_profile_path();
 
   // One claimant is the caller itself; the rest are pool helpers. Helpers
   // hold st alive via the shared_ptr so an early-returning caller (exception
   // path) can never dangle — but the barrier below means st outlives them
   // anyway.
   const std::size_t chunks = (end - begin + grain - 1) / grain;
+  grain_occupancy_gauge().set(double(end - begin) / double(chunks * grain));
   std::size_t claimants = std::min(size() + 1, chunks);
   if (max_threads > 0) claimants = std::min(claimants, max_threads);
   for (std::size_t w = 1; w < claimants; ++w)
@@ -236,7 +255,7 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     {
-      OBS_SPAN("pool/task");
+      OBS_SPAN_TRACE_ONLY("pool/task");
       task();
     }
     executed_counter().add();

@@ -10,6 +10,7 @@
 #include "linalg/svd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 
 namespace q2::sim {
 namespace {
@@ -160,6 +161,7 @@ void Mps::apply_single(int site, const std::array<cplx, 4>& m) {
 
 void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
                              bool left_is_hi) {
+  OBS_SPAN("mps/two_site");
   // O[(i j), (i' j')] with i = left site's physical index. The gate matrix is
   // given in (hi, lo) order; when the left site is the lo qubit, permute.
   std::array<cplx, 16> o;
@@ -207,6 +209,11 @@ void Mps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
             mm[(a * 2 + i) * cols + j * dr + b] = out[i * 2 + j];
       }
     }
+    // Fused 4x4 gate application: per (a, b) fiber one complex 4-vector
+    // matvec (16 multiply-adds = 128 flops) over 4 read + 4 written elements
+    // (128 bytes). The surrounding GEMMs charge themselves.
+    obs::WorkCounter::charge(std::uint64_t(dl) * dr * 128,
+                             std::uint64_t(dl) * dr * 128);
 
     // Eq. (8): the Schmidt row weights fold into the SVD's packing pass —
     // the full weighted copy mw = mm is gone.
@@ -346,6 +353,7 @@ double Mps::norm() const {
 }
 
 cplx Mps::expectation(const pauli::PauliString& p) const {
+  OBS_SPAN("mps/expectation");
   require(int(p.n_qubits()) == n_, "Mps::expectation: qubit count mismatch");
   if (p.is_identity()) {
     const double nn = norm();
@@ -361,14 +369,19 @@ cplx Mps::expectation(const pauli::PauliString& p) const {
     const std::vector<double>& lam = lambda_[lo - 1];
     for (std::size_t a = 0; a < dl_[lo]; ++a) e(a, a) = lam[a] * lam[a];
   }
+  std::uint64_t streamed = 0;
   for (std::size_t s = lo; s <= hi; ++s) {
     cplx pm[4];
     pauli::PauliString::single_qubit_matrix(p.get(s), pm);
     e = transfer(e, tensors_[s], dl_[s], dr_[s], pm);
+    streamed += std::uint64_t(tensors_[s].size()) * sizeof(cplx);
   }
   // Right of the support everything contracts to the identity: take trace.
   cplx tr{};
   for (std::size_t a = 0; a < e.rows(); ++a) tr += e(a, a);
+  // The sweep's own cost beyond the nested GEMMs: the state stream over the
+  // support plus the closing trace (one complex add per diagonal element).
+  obs::WorkCounter::charge(2 * std::uint64_t(e.rows()), streamed);
   return tr;
 }
 

@@ -8,6 +8,7 @@
 #include "linalg/qr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 
 namespace q2::sw {
 namespace {
@@ -42,6 +43,10 @@ la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
   const std::size_t tiles_n = (n + t - 1) / t;
   const std::size_t total_tiles = tiles_m * tiles_n;
   gemm_tile_counter().add(total_tiles);
+  // Tile arithmetic funnels through la::gemm_tile, which charges its own
+  // flops; this level charges only the modeled DMA staging traffic (the
+  // counter delta over the spawn, attributed to the calling thread).
+  const DmaCounters dma_before = cluster.counters();
 
   cluster.spawn(config, [&](CpeContext& ctx) {
     // Static round-robin tile ownership over the mesh.
@@ -70,6 +75,9 @@ la::CMatrix gemm_cpe(CpeCluster& cluster, const la::CMatrix& a,
         ctx.dma_put(c.row(i0 + i) + j0, lc_tile + i * nj, nj * sizeof(cplx));
     }
   });
+  const DmaCounters dma_after = cluster.counters();
+  obs::WorkCounter::charge(0, (dma_after.bytes_in - dma_before.bytes_in) +
+                                  (dma_after.bytes_out - dma_before.bytes_out));
   return c;
 }
 
@@ -168,21 +176,35 @@ la::SvdResult svd_cpe(CpeCluster& cluster, const la::CMatrix& a_in,
   const auto rounds = la::tournament_rounds(n);
   constexpr int kMaxSweeps = 60;
   std::atomic<bool> any_off{false};
+  const DmaCounters dma_before = cluster.counters();
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
     svd_sweep_counter().add();
     any_off = false;
     for (const auto& round : rounds) {
+      // The rotation set is schedule-determined (rel >= the rotate
+      // tolerance), so the rotated count — and the work charge below — is
+      // identical however the mesh distributes the round.
+      std::atomic<std::uint64_t> rotated{0};
       cluster.spawn(config, [&](CpeContext& ctx) {
         for (std::size_t i = ctx.cpe_id(); i < round.size();
              i += std::size_t(config.num_cpes)) {
           const double rel =
               rotate_pair_cpe(ctx, x, v, round[i].first, round[i].second);
+          if (rel >= 1e-15) rotated.fetch_add(1, std::memory_order_relaxed);
           if (rel >= 1e-14) any_off = true;
         }
       });
+      obs::WorkCounter::charge(
+          obs::jacobi_round_flops(round.size(),
+                                  rotated.load(std::memory_order_relaxed), n,
+                                  n),
+          0);
     }
     if (!any_off) break;
   }
+  obs::WorkCounter::charge(
+      0, cluster.counters().bytes_in - dma_before.bytes_in +
+             cluster.counters().bytes_out - dma_before.bytes_out);
 
   // Column norms of the rotated X are the singular values.
   std::vector<double> s(n);

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/hadamard_test.hpp"
@@ -212,6 +213,10 @@ double EnergyEvaluator::measure_direct(const std::vector<double>& params,
   }
   double e = 0;
   for (double c : contrib) e += c;
+  // The sweep's own arithmetic beyond the per-term expectations: one
+  // coefficient multiply per term plus the index-order reduction.
+  obs::WorkCounter::charge(2 * std::uint64_t(idx.size()),
+                           std::uint64_t(idx.size()) * sizeof(double));
   return e;
 }
 

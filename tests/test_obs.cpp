@@ -4,14 +4,11 @@
 // --trace=/--report=/--metrics= flag plumbing.
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,185 +18,12 @@
 namespace q2 {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser, just enough to validate our own
-// emission. Throws std::runtime_error on malformed input (gtest reports the
-// uncaught exception as a test failure).
+// Telemetry output is parsed back with the shared obs::Json parser (this
+// file's original hand-rolled parser was promoted into src/obs/json.hpp,
+// where tools/bench_diff uses it too).
+using Jv = obs::Json;
 
-struct Jv {
-  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Jv> array;
-  std::map<std::string, Jv> object;
-
-  const Jv& at(const std::string& key) const {
-    auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-  bool has(const std::string& key) const { return object.count(key) > 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  Jv parse() {
-    Jv v = value();
-    skip_ws();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing characters");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r'))
-      ++pos_;
-  }
-  char peek() {
-    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c)
-      throw std::runtime_error(std::string("expected '") + c + "' at " +
-                               std::to_string(pos_));
-    ++pos_;
-  }
-  bool consume_literal(const char* lit) {
-    std::size_t n = std::strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Jv value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (consume_literal("null")) return Jv{};
-    if (consume_literal("true")) {
-      Jv v;
-      v.type = Jv::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      Jv v;
-      v.type = Jv::kBool;
-      return v;
-    }
-    return number();
-  }
-
-  Jv object() {
-    Jv v;
-    v.type = Jv::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      Jv key = string_value();
-      skip_ws();
-      expect(':');
-      v.object[key.string] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Jv array() {
-    Jv v;
-    v.type = Jv::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  Jv string_value() {
-    Jv v;
-    v.type = Jv::kString;
-    expect('"');
-    while (true) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return v;
-      if (c == '\\') {
-        const char e = peek();
-        ++pos_;
-        switch (e) {
-          case '"': v.string += '"'; break;
-          case '\\': v.string += '\\'; break;
-          case '/': v.string += '/'; break;
-          case 'b': v.string += '\b'; break;
-          case 'f': v.string += '\f'; break;
-          case 'n': v.string += '\n'; break;
-          case 'r': v.string += '\r'; break;
-          case 't': v.string += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
-            const unsigned code =
-                unsigned(std::stoul(s_.substr(pos_, 4), nullptr, 16));
-            pos_ += 4;
-            if (code > 0xFF) throw std::runtime_error("non-latin \\u escape");
-            v.string += char(code);
-            break;
-          }
-          default: throw std::runtime_error("bad escape");
-        }
-      } else {
-        v.string += c;
-      }
-    }
-  }
-
-  Jv number() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) throw std::runtime_error("expected a number");
-    Jv v;
-    v.type = Jv::kNumber;
-    v.number = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-Jv parse_json(const std::string& text) { return JsonParser(text).parse(); }
+Jv parse_json(const std::string& text) { return Jv::parse(text); }
 
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "/" + name;
@@ -371,6 +195,30 @@ TEST(ObsTrace, WriteTraceFileRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(ObsTrace, TraceLimitDropsSpansAndCountsThem) {
+#ifdef Q2_OBS_DISABLE_TRACING
+  GTEST_SKIP() << "tracing compiled out (Q2_OBS_DISABLE_TRACING)";
+#endif
+  obs::set_trace_limit(10);
+  obs::set_tracing(true);
+  obs::clear_trace();
+  for (int i = 0; i < 20; ++i) {
+    OBS_SPAN("test/limited");
+  }
+  obs::set_tracing(false);
+  EXPECT_EQ(obs::trace_event_count(), 10u);
+  EXPECT_EQ(obs::trace_dropped_count(), 10u);
+  // The drop count also surfaces in the metrics dump, so a truncated trace
+  // is visible even when only the metrics file is collected.
+  EXPECT_GE(obs::Registry::global().snapshot().counters.at(
+                "trace.dropped_spans"),
+            10u);
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+  obs::set_trace_limit(0);  // back to the default cap
+}
+
 // ---------------------------------------------------------------------------
 // Run reports.
 
@@ -482,6 +330,46 @@ TEST(ObsConfig, ConfigureFromArgsStripsFlagsAndWritesSinks) {
 
   obs::clear_trace();
   std::remove(trace.c_str());
+  std::remove(report.c_str());
+  std::remove(metrics.c_str());
+}
+
+// A failing sink must not take the others down with it: an unwritable trace
+// path degrades to a warning, and the metrics dump and run report still
+// flush (regression test for the all-or-nothing shutdown).
+TEST(ObsConfig, ShutdownFlushesRemainingSinksWhenTraceWriteFails) {
+  const std::string trace = "/nonexistent_q2_dir/q2_hard.trace.json";
+  const std::string report = temp_path("q2_hard.jsonl");
+  const std::string metrics = temp_path("q2_hard_metrics.json");
+  const std::string trace_arg = "--trace=" + trace;
+  const std::string report_arg = "--report=" + report;
+  const std::string metrics_arg = "--metrics=" + metrics;
+  std::vector<char*> argv = {const_cast<char*>("prog"),
+                             const_cast<char*>(trace_arg.c_str()),
+                             const_cast<char*>(report_arg.c_str()),
+                             const_cast<char*>(metrics_arg.c_str())};
+  int argc = int(argv.size());
+  obs::configure_from_args(argc, argv.data());
+
+  { OBS_SPAN("test/hardened"); }
+  obs::RunReport::global().record("marker", {{"ok", true}});
+  obs::Registry::global().counter("test_obs.hardened").add();
+  obs::shutdown();
+
+  EXPECT_FALSE(std::ifstream(trace).good());
+  std::ifstream rin(report);
+  std::string line;
+  ASSERT_TRUE(std::getline(rin, line));
+  EXPECT_EQ(parse_json(line).at("kind").string, "marker");
+  std::ifstream min(metrics);
+  ASSERT_TRUE(min.good());
+  std::stringstream mss;
+  mss << min.rdbuf();
+  EXPECT_GE(
+      parse_json(mss.str()).at("counters").at("test_obs.hardened").number,
+      1.0);
+
+  obs::clear_trace();
   std::remove(report.c_str());
   std::remove(metrics.c_str());
 }

@@ -1,0 +1,241 @@
+// Span-aggregation profile: call-tree construction from nested and threaded
+// spans, self-vs-total invariants, exactness and thread-count invariance of
+// the GEMM/SVD FLOP accounting, cross-thread path adoption through the pool,
+// and the JSON export round-tripped through the shared obs::Json parser.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/mps.hpp"
+#include "circuit/builder.hpp"
+
+namespace q2 {
+namespace {
+
+// Profiling shares the OBS_SPAN hook with tracing, so compiling spans out
+// removes the profile's data source too.
+#ifdef Q2_OBS_DISABLE_TRACING
+constexpr bool kSpansCompiledOut = true;
+#else
+constexpr bool kSpansCompiledOut = false;
+#endif
+
+class ProfileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (kSpansCompiledOut)
+      GTEST_SKIP() << "spans compiled out (Q2_OBS_DISABLE_TRACING)";
+    obs::set_profiling(true);
+    obs::clear_profile();
+  }
+  void TearDown() override {
+    obs::set_profiling(false);
+    obs::clear_profile();
+  }
+};
+
+const obs::ProfileNode* find_node(const std::vector<obs::ProfileNode>& nodes,
+                                  const std::string& name) {
+  for (const auto& n : nodes)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+
+la::CMatrix random_matrix(std::size_t m, std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  la::CMatrix a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.complex_normal();
+  return a;
+}
+
+TEST_F(ProfileTest, NestedSpansBuildACallTree) {
+  {
+    OBS_SPAN("test/outer");
+    { OBS_SPAN("test/inner"); }
+    { OBS_SPAN("test/inner"); }
+  }
+  {
+    OBS_SPAN("test/outer");
+  }
+  const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+  const obs::ProfileNode* outer = find_node(nodes, "test/outer");
+  const obs::ProfileNode* inner = find_node(nodes, "test/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->path, "test/outer");
+  EXPECT_EQ(inner->path, "test/outer;test/inner");
+  // Pre-order: the parent precedes its children in the snapshot.
+  EXPECT_LT(outer - nodes.data(), inner - nodes.data());
+  // Single-thread nesting: the children fit inside the parent, so self time
+  // is non-negative and bounded by total.
+  EXPECT_GE(outer->total_us, inner->total_us);
+  EXPECT_GE(outer->self_us, 0.0);
+  EXPECT_LE(outer->self_us, outer->total_us);
+  EXPECT_GE(inner->min_us, 0.0);
+  EXPECT_GE(inner->max_us, inner->min_us);
+}
+
+TEST_F(ProfileTest, ThreadTagsAppearInTheByThreadBreakdown) {
+  {
+    OBS_SPAN("test/tagged");
+  }
+  std::thread t([] {
+    obs::set_thread_tag("sidecar");
+    OBS_SPAN("test/tagged");
+  });
+  t.join();
+  const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+  const obs::ProfileNode* tagged = find_node(nodes, "test/tagged");
+  ASSERT_NE(tagged, nullptr);
+  EXPECT_EQ(tagged->count, 2u);
+  ASSERT_EQ(tagged->by_thread.size(), 2u);
+  bool has_sidecar = false;
+  for (const auto& [tag, us] : tagged->by_thread) {
+    if (tag == "sidecar") has_sidecar = true;
+    EXPECT_GE(us, 0.0);
+  }
+  EXPECT_TRUE(has_sidecar);
+}
+
+TEST_F(ProfileTest, GemmFlopCountIsExactAndThreadCountInvariant) {
+  // 32x17 * 17x9 complex: 8*m*k*n flops, (mk + kn + 2mn) * 16 bytes — the
+  // analytic model from obs/workload.hpp, charged before the dispatch.
+  const std::size_t m = 32, k = 17, n = 9;
+  const la::CMatrix a = random_matrix(m, k, 1), b = random_matrix(k, n, 2);
+  const std::uint64_t want_flops = 8ull * m * k * n;
+  const std::uint64_t want_bytes = (m * k + k * n + 2 * m * n) * 16ull;
+
+  std::vector<std::uint64_t> flops_by_threads, bytes_by_threads;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    obs::clear_profile();
+    par::ParallelOptions opts;
+    opts.n_threads = threads;
+    (void)la::matmul(a, b, la::Op::kNone, la::Op::kNone, opts);
+    const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+    const obs::ProfileNode* gemm = find_node(nodes, "la/gemm");
+    ASSERT_NE(gemm, nullptr) << "threads=" << threads;
+    EXPECT_EQ(gemm->count, 1u);
+    flops_by_threads.push_back(gemm->self_flops);
+    bytes_by_threads.push_back(gemm->self_bytes);
+  }
+  for (std::size_t i = 0; i < flops_by_threads.size(); ++i) {
+    EXPECT_EQ(flops_by_threads[i], want_flops) << "i=" << i;
+    EXPECT_EQ(bytes_by_threads[i], want_bytes) << "i=" << i;
+  }
+}
+
+TEST_F(ProfileTest, SvdWorkAccountingIsThreadCountInvariant) {
+  const std::size_t n = 64;
+  const la::CMatrix a = random_matrix(n, n, 7);
+  std::vector<std::uint64_t> flops_by_threads, bytes_by_threads;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    obs::clear_profile();
+    par::ParallelOptions opts;
+    opts.n_threads = threads;
+    la::SvdWorkspace ws;
+    (void)la::svd_truncated_ws(ws, a.data(), n, n, n, nullptr,
+                               /*max_bond=*/16, 0.0, /*want_u=*/true, opts);
+    const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+    const obs::ProfileNode* svd = find_node(nodes, "la/svd");
+    ASSERT_NE(svd, nullptr) << "threads=" << threads;
+    EXPECT_GT(svd->flops, 0u);
+    EXPECT_GT(svd->bytes, 0u);
+    flops_by_threads.push_back(svd->flops);
+    bytes_by_threads.push_back(svd->bytes);
+  }
+  // The rotation count comes from the deterministic tournament schedule, so
+  // the charge is bit-identical for every thread count.
+  EXPECT_EQ(flops_by_threads[0], flops_by_threads[1]);
+  EXPECT_EQ(flops_by_threads[0], flops_by_threads[2]);
+  EXPECT_EQ(bytes_by_threads[0], bytes_by_threads[1]);
+  EXPECT_EQ(bytes_by_threads[0], bytes_by_threads[2]);
+}
+
+TEST_F(ProfileTest, MpsTwoSiteNodeAccumulatesSubtreeWork) {
+  Rng rng(11);
+  sim::MpsOptions opts;
+  opts.max_bond = 8;
+  sim::Mps mps(8, opts);
+  mps.run(circ::brickwork_circuit(8, 2, rng));
+  const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+  const obs::ProfileNode* two_site = find_node(nodes, "mps/two_site");
+  ASSERT_NE(two_site, nullptr);
+  EXPECT_GT(two_site->count, 0u);
+  // flops/bytes are cumulative over the subtree: the two-site update charges
+  // the O-application itself and inherits its contraction/SVD children, so a
+  // roofline line at the phase level is meaningful.
+  EXPECT_GT(two_site->flops, two_site->self_flops);
+  EXPECT_GT(two_site->bytes, 0u);
+  ASSERT_NE(find_node(nodes, "mps/contract"), nullptr);
+  ASSERT_NE(find_node(nodes, "mps/svd"), nullptr);
+}
+
+TEST_F(ProfileTest, PoolWorkersAdoptTheDispatchingSpanPath) {
+  par::ParallelOptions opts;
+  opts.n_threads = 4;
+  opts.grain = 1;
+  {
+    OBS_SPAN("test/fanout");
+    par::parallel_for(opts, 0, 8, [](std::size_t) {
+      OBS_SPAN("test/unit");
+    });
+  }
+  const std::vector<obs::ProfileNode> nodes = obs::profile_snapshot();
+  const obs::ProfileNode* unit = find_node(nodes, "test/unit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->count, 8u);
+  // Worker-recorded spans merge under the dispatching span's path, not under
+  // per-worker roots: node identity is independent of which thread ran what.
+  EXPECT_EQ(unit->path.rfind("test/fanout;", 0), 0u) << unit->path;
+}
+
+TEST_F(ProfileTest, JsonExportRoundTripsThroughTheSharedParser) {
+  {
+    OBS_SPAN("test/json_outer");
+    { OBS_SPAN("test/json_inner"); }
+  }
+  const la::CMatrix a = random_matrix(16, 16, 3), b = random_matrix(16, 16, 4);
+  (void)la::matmul(a, b);
+
+  const std::vector<obs::ProfileNode> snapshot = obs::profile_snapshot();
+  const obs::Json root = obs::Json::parse(obs::profile_json());
+  const std::vector<obs::Json>& nodes = root.at("profile").array;
+  ASSERT_EQ(nodes.size(), snapshot.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].at("name").string, snapshot[i].name);
+    EXPECT_EQ(nodes[i].at("path").string, snapshot[i].path);
+    EXPECT_EQ(nodes[i].at("count").number, double(snapshot[i].count));
+    EXPECT_EQ(nodes[i].at("flops").number, double(snapshot[i].flops));
+    EXPECT_TRUE(nodes[i].has("gflops"));
+    EXPECT_TRUE(nodes[i].has("intensity"));
+    EXPECT_EQ(nodes[i].at("by_thread").type, obs::Json::kObject);
+  }
+  const obs::Json* gemm = nullptr;
+  for (const obs::Json& n : nodes)
+    if (n.at("name").string == "la/gemm") gemm = &n;
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_GT(gemm->at("flops").number, 0.0);
+  EXPECT_GT(gemm->at("intensity").number, 0.0);
+  // The parallel-attribution block travels with the tree.
+  EXPECT_EQ(root.at("parallel").type, obs::Json::kObject);
+  EXPECT_TRUE(root.has("dropped_spans"));
+  // And the text table mentions every exported span.
+  const std::string table = obs::profile_text();
+  EXPECT_NE(table.find("la/gemm"), std::string::npos);
+  EXPECT_NE(table.find("test/json_inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace q2
