@@ -18,6 +18,7 @@
 #include "circuit/builder.hpp"
 #include "common/rng.hpp"
 #include "linalg/gemm.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/svd_reference.hpp"
 #include "linalg/tensor.hpp"
@@ -151,6 +152,7 @@ int run_gemm_sweep(const std::string& report_name, bool quick) {
   bench::BenchReport report(report_name);
   const unsigned cores = std::thread::hardware_concurrency();
   report.set("hardware_threads", double(cores));
+  report.set("simd_isa", std::string(la::simd::isa_name(la::simd::active_isa())));
   bool ok = true;
 
   bench::header("GEMM sweep: packed blocked kernel vs naive reference");

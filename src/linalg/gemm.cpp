@@ -1,9 +1,12 @@
 #include "linalg/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <complex>
 #include <type_traits>
 
+#include "linalg/simd.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/workload.hpp"
 #include "parallel/thread_pool.hpp"
@@ -98,35 +101,58 @@ void pack_b(T* buf, const View& bv, std::size_t p0, std::size_t j0,
   }
 }
 
-// Register-tiled inner kernel: C[0..mr, 0..nr] += Apanel . Bpanel over kc.
+// How the first k-block writes a tile of C back: beta is folded into the
+// write-back instead of a serial whole-matrix pre-pass, so no serial O(mn)
+// fraction precedes the parallel region. kOverwrite (beta == 0) assigns, so
+// stale values — including NaNs — in an output buffer never leak through.
+enum class WriteBack { kAccumulate, kOverwrite, kScaleAdd };
+
+// SIMD-dispatched micro-tile product (see linalg/simd.*): acc, zeroed here,
+// receives the full padded MR x NR panel product.
+inline void micro_accumulate(std::size_t kc, const double* ap,
+                             const double* bp, double* acc) {
+  simd::micro_accumulate_d(kc, ap, bp, acc);
+}
+inline void micro_accumulate(std::size_t kc, const cplx* ap, const cplx* bp,
+                             cplx* acc) {
+  simd::micro_accumulate_z(kc, ap, bp, acc);
+}
+
+// Register-tiled inner kernel: C[0..mr, 0..nr] op= Apanel . Bpanel over kc.
 // The accumulator spans the full padded MR x NR tile so the hot loop has no
-// edge branches; the masked write-back trims the padding. Note there is
-// deliberately no zero-skip here: 0 * NaN and 0 * Inf must propagate exactly
-// as they do in the reference kernel.
+// edge branches; the masked write-back trims the padding and applies the
+// beta mode. Note there is deliberately no zero-skip anywhere: 0 * NaN and
+// 0 * Inf must propagate exactly as they do in the reference kernel.
 template <typename T>
 void micro_kernel(std::size_t kc, const T* ap, const T* bp, T* c,
-                  std::size_t ldc, std::size_t mr, std::size_t nr) {
-  constexpr std::size_t MR = Micro<T>::MR;
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  WriteBack wb, T beta) {
   constexpr std::size_t NR = Micro<T>::NR;
-  T acc[MR * NR] = {};
-  for (std::size_t p = 0; p < kc; ++p) {
-    const T* a = ap + p * MR;
-    const T* b = bp + p * NR;
-    for (std::size_t i = 0; i < MR; ++i) {
-      const T ai = a[i];
-      T* accrow = acc + i * NR;
-      for (std::size_t j = 0; j < NR; ++j) accrow[j] += ai * b[j];
-    }
+  T acc[Micro<T>::MR * NR] = {};
+  micro_accumulate(kc, ap, bp, acc);
+  switch (wb) {
+    case WriteBack::kAccumulate:
+      for (std::size_t i = 0; i < mr; ++i)
+        for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i * NR + j];
+      break;
+    case WriteBack::kOverwrite:
+      for (std::size_t i = 0; i < mr; ++i)
+        for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i * NR + j];
+      break;
+    case WriteBack::kScaleAdd:
+      for (std::size_t i = 0; i < mr; ++i)
+        for (std::size_t j = 0; j < nr; ++j)
+          c[i * ldc + j] = beta * c[i * ldc + j] + acc[i * NR + j];
+      break;
   }
-  for (std::size_t i = 0; i < mr; ++i)
-    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i * NR + j];
 }
 
 // One mc x nc macro-tile of C: every micro-panel of the packed A block
-// against every micro-panel of the packed B panel.
+// against every micro-panel of the packed B panel slice.
 template <typename T>
 void macro_kernel(std::size_t mc, std::size_t kc, std::size_t nc,
-                  const T* abuf, const T* bbuf, T* c, std::size_t ldc) {
+                  const T* abuf, const T* bbuf, T* c, std::size_t ldc,
+                  WriteBack wb, T beta) {
   constexpr std::size_t MR = Micro<T>::MR;
   constexpr std::size_t NR = Micro<T>::NR;
   for (std::size_t jr = 0; jr < nc; jr += NR) {
@@ -135,30 +161,65 @@ void macro_kernel(std::size_t mc, std::size_t kc, std::size_t nc,
     for (std::size_t ir = 0; ir < mc; ir += MR) {
       const std::size_t mr = std::min(MR, mc - ir);
       const T* ap = abuf + (ir / MR) * MR * kc;
-      micro_kernel(kc, ap, bp, c + ir * ldc + jr, ldc, mr, nr);
+      micro_kernel(kc, ap, bp, c + ir * ldc + jr, ldc, mr, nr, wb, beta);
     }
   }
 }
 
-// Blocked driver. beta is applied to C in one pass up front (beta == 0
-// overwrites, so stale values in an output buffer never leak through), then
-// the product accumulates k-blocks in a fixed order. Each (ic, jc) tile of C
-// belongs to exactly one parallel_for iteration and the pc loop is a barrier
-// between k-blocks, so the accumulation order — and hence the floating-point
-// result — is identical for every thread count.
+obs::Counter& packa_reuse_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("gemm.packa_reused");
+  return c;
+}
+obs::Counter& packa_pack_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("gemm.packa_packed");
+  return c;
+}
+
+/// Distinguishes tile-grid dispatches so a thread's cached packed-A block is
+/// never mistaken for another (jc, pc) phase's — or another concurrent
+/// GEMM's — block of the same tile-row index.
+std::uint64_t next_tile_loop_id() {
+  static std::atomic<std::uint64_t> id{0};
+  return id.fetch_add(1, std::memory_order_relaxed) + 1;  // never kNoTag/0
+}
+
+// Blocked driver, parallel over a 2-D (ic x jr) tile grid. The old
+// m/MC-row-only decomposition starved the pool — at m = 256, MC = 96 yields
+// 3 tiles for 4 threads — and its serial B-pack plus serial beta pre-pass
+// capped scaling on top (Amdahl). Now:
+//
+//   * The B panel of each (jc, pc) phase is packed cooperatively, one
+//     JB-column slab per parallel_for iteration (disjoint writes, and packing
+//     is element-copying, so the packed bytes are scheduling-independent).
+//   * C tiles form an (m/MC) x (nc/JB) grid; every tile is owned by exactly
+//     one iteration, and the pc loop remains a barrier between k-blocks, so
+//     each C element sees the same fixed accumulation order — and therefore
+//     bit-identical results — at every thread count.
+//   * beta is folded into the first k-block's write-back (see WriteBack), so
+//     no serial O(mn) pass remains.
+//   * The packed-A block lives in a pool-resident per-thread Scratch buffer
+//     tagged (loop, tile-row): iterating the grid tile-row-major, a thread
+//     claiming consecutive tiles reuses its packed block instead of paying a
+//     pack — and never re-mallocs (gemm.packa_{packed,reused} count this).
 template <typename T, class ViewA, class ViewB>
 void gemm_blocked(std::size_t m, std::size_t k, std::size_t n, T alpha,
                   const ViewA& av, const ViewB& bv, T beta, T* c,
                   std::size_t ldc, const par::ParallelOptions& opts) {
   OBS_SPAN("la/gemm");
-  if (beta == T{}) {
-    for (std::size_t i = 0; i < m; ++i)
-      std::fill(c + i * ldc, c + i * ldc + n, T{});
-  } else if (beta != T{1}) {
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Nothing to accumulate: the call reduces to C *= beta.
+    if (beta == T{}) {
+      for (std::size_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, T{});
+    } else if (beta != T{1}) {
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+    return;
   }
-  if (m == 0 || n == 0 || k == 0) return;
   // Charged before the dispatch, on the calling thread: totals are
   // bit-identical at every thread count (see obs/workload.hpp).
   obs::WorkCounter::charge(obs::gemm_flops(m, k, n, !std::is_same_v<T, double>),
@@ -169,24 +230,48 @@ void gemm_blocked(std::size_t m, std::size_t k, std::size_t n, T alpha,
   constexpr std::size_t MC = GemmBlocking::kMC;
   constexpr std::size_t KC = GemmBlocking::kKC;
   constexpr std::size_t NC = GemmBlocking::kNC;
+  constexpr std::size_t JB = GemmBlocking::kJB;
+  static_assert(JB % GemmBlocking::kNR == 0 && JB % 4 == 0,
+                "JB must be a whole number of micro-panels for every Micro<T>");
 
+  const std::size_t n_ib = (m + MC - 1) / MC;
   std::vector<T> bbuf;
   for (std::size_t jc = 0; jc < n; jc += NC) {
     const std::size_t nc = std::min(NC, n - jc);
+    const std::size_t n_jb = (nc + JB - 1) / JB;
     for (std::size_t pc = 0; pc < k; pc += KC) {
       const std::size_t kc = std::min(KC, k - pc);
+      const WriteBack wb = pc != 0 ? WriteBack::kAccumulate
+                           : beta == T{} ? WriteBack::kOverwrite
+                           : beta == T{1} ? WriteBack::kAccumulate
+                                          : WriteBack::kScaleAdd;
       bbuf.resize(round_up(nc, NR) * kc);
-      pack_b(bbuf.data(), bv, pc, jc, kc, nc);
-      const std::size_t n_tiles = (m + MC - 1) / MC;
-      par::ParallelOptions tile_opts = opts;
-      tile_opts.grain = 1;
-      par::parallel_for(tile_opts, 0, n_tiles, [&](std::size_t t) {
-        const std::size_t ic = t * MC;
+      par::ParallelOptions slab_opts = opts;
+      slab_opts.grain = 1;  // one B slab / one C tile per claimed unit
+      par::parallel_for(slab_opts, 0, n_jb, [&](std::size_t jb) {
+        const std::size_t jr0 = jb * JB;
+        pack_b(bbuf.data() + (jr0 / NR) * NR * kc, bv, pc, jc + jr0, kc,
+               std::min(JB, nc - jr0));
+      });
+      const std::uint64_t loop_id = next_tile_loop_id();
+      par::parallel_for(slab_opts, 0, n_ib * n_jb, [&](std::size_t t) {
+        const std::size_t ib = t / n_jb, jb = t % n_jb;
+        const std::size_t ic = ib * MC;
         const std::size_t mc = std::min(MC, m - ic);
-        std::vector<T> abuf(round_up(mc, MR) * kc);
-        pack_a(abuf.data(), av, alpha, ic, pc, mc, kc);
-        macro_kernel(mc, kc, nc, abuf.data(), bbuf.data(),
-                     c + ic * ldc + jc, ldc);
+        const std::size_t jr0 = jb * JB;
+        const std::size_t ncw = std::min(JB, nc - jr0);
+        par::Scratch scratch(round_up(mc, MR) * kc * sizeof(T));
+        T* abuf = static_cast<T*>(scratch.data());
+        if (scratch.tag(0) != loop_id || scratch.tag(1) != ib) {
+          pack_a(abuf, av, alpha, ic, pc, mc, kc);
+          scratch.set_tag(0, loop_id);
+          scratch.set_tag(1, ib);
+          packa_pack_counter().add();
+        } else {
+          packa_reuse_counter().add();
+        }
+        macro_kernel(mc, kc, ncw, abuf, bbuf.data() + (jr0 / NR) * NR * kc,
+                     c + ic * ldc + jc + jr0, ldc, wb, beta);
       });
     }
   }
@@ -257,6 +342,12 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, const cplx* a,
   require(a != nullptr && b != nullptr && c != nullptr,
           "gemm_raw: null operand");
   require(ldc >= n, "gemm_raw: ldc < n");
+  // lda/ldb are the strides of the *stored* operands: op(A) reads an m x k
+  // matrix from an m x k (kNone) or k x m (kTrans/kAdjoint) array.
+  require(op_a == Op::kNone ? lda >= k : lda >= m,
+          op_a == Op::kNone ? "gemm_raw: lda < k" : "gemm_raw: lda < m");
+  require(op_b == Op::kNone ? ldb >= n : ldb >= k,
+          op_b == Op::kNone ? "gemm_raw: ldb < n" : "gemm_raw: ldb < k");
   const OpView<cplx> av{a, lda, op_a != Op::kNone, op_a == Op::kAdjoint};
   const OpView<cplx> bv{b, ldb, op_b != Op::kNone, op_b == Op::kAdjoint};
   gemm_blocked(m, k, n, cplx{1}, av, bv, cplx{0}, c, ldc, opts);
@@ -270,6 +361,8 @@ void gemm_offsets_into(std::size_t m, std::size_t k, std::size_t n,
                        const std::vector<std::size_t>& b_row_off,
                        const std::vector<std::size_t>& b_col_off, cplx* c,
                        std::size_t ldc, const par::ParallelOptions& opts) {
+  require(a_data != nullptr && b_data != nullptr && c != nullptr,
+          "gemm_offsets: null operand");
   require(a_row_off.size() == m && a_col_off.size() == k,
           "gemm_offsets: A offset table size mismatch");
   require(b_row_off.size() == k && b_col_off.size() == n,

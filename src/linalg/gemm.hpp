@@ -4,10 +4,13 @@
 // as swBLAS was for the paper. The kernel follows the classic GotoBLAS/BLIS
 // decomposition: NC/KC/MC macro-blocking, A and B packed into MR- and
 // NR-wide micro-panels (transpose/adjoint folded into the packing step), and
-// a register-tiled MR x NR inner kernel. Macro-tiles of C are distributed
-// over the process ThreadPool; each tile is owned by exactly one task and
-// accumulated in a fixed k-order, so results are bit-identical for every
-// thread count.
+// a register-tiled MR x NR inner kernel with runtime-dispatched SIMD paths
+// (linalg/simd.hpp: AVX2/FMA when the host has it, portable otherwise).
+// C tiles form a 2-D (MC-row x JB-column) grid distributed over the process
+// ThreadPool — B panels are packed cooperatively and beta is folded into the
+// first k-block's write-back, so no serial phase precedes the parallel
+// region. Each tile is owned by exactly one task and accumulated in a fixed
+// k-order, so results are bit-identical for every thread count.
 #pragma once
 
 #include <cstddef>
@@ -23,13 +26,18 @@ enum class Op { kNone, kTrans, kAdjoint };
 /// Blocking parameters (exposed so the differential tests can sweep shapes
 /// that straddle every boundary). MR/NR are the register tile for double —
 /// the complex kernel narrows to a 4x4 tile internally; MC/KC size the
-/// packed A block; NC bounds the packed B panel.
+/// packed A block; NC bounds the packed B panel. JB is the column width of
+/// one parallel work unit: C tiles form an (m/MC) x (nc/JB) grid, so even a
+/// 256-row product exposes enough tiles to feed every thread (the old
+/// m/MC-only split gave 3 tiles for 4 threads). JB must be a multiple of
+/// both register tile widths (8 real, 4 complex).
 struct GemmBlocking {
   static constexpr std::size_t kMR = 4;
   static constexpr std::size_t kNR = 8;
   static constexpr std::size_t kMC = 96;
   static constexpr std::size_t kKC = 256;
   static constexpr std::size_t kNC = 2048;
+  static constexpr std::size_t kJB = 64;
 };
 
 /// C = alpha * op(A) * op(B) + beta * C (shapes validated; C resized only if

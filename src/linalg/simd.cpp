@@ -1,0 +1,349 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define Q2_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define Q2_SIMD_X86 0
+#endif
+
+namespace q2::la::simd {
+namespace {
+
+// -1 = no override; otherwise the int value of the forced Isa.
+std::atomic<int> g_override{-1};
+
+bool cpu_has_avx2_fma() {
+#if Q2_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa detect() {
+  const char* env = std::getenv("Q2_SIMD");
+  if (env && std::strcmp(env, "portable") == 0) return Isa::kPortable;
+  return cpu_has_avx2_fma() ? Isa::kAvx2Fma : Isa::kPortable;
+}
+
+// ---------------------------------------------------------------------------
+// Portable path — byte-for-byte the numerics of the pre-SIMD kernels: the
+// same loop structure, accumulator chains, and combine order.
+// ---------------------------------------------------------------------------
+
+void micro_accumulate_d_portable(std::size_t kc, const double* ap,
+                                 const double* bp, double* acc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* a = ap + p * 4;
+    const double* b = bp + p * 8;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double ai = a[i];
+      double* accrow = acc + i * 8;
+      for (std::size_t j = 0; j < 8; ++j) accrow[j] += ai * b[j];
+    }
+  }
+}
+
+void micro_accumulate_z_portable(std::size_t kc, const cplx* ap,
+                                 const cplx* bp, cplx* acc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const cplx* a = ap + p * 4;
+    const cplx* b = bp + p * 4;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const cplx ai = a[i];
+      cplx* accrow = acc + i * 4;
+      for (std::size_t j = 0; j < 4; ++j) accrow[j] += ai * b[j];
+    }
+  }
+}
+
+cplx dot_conj_portable(const cplx* x, const cplx* y, std::size_t len) {
+  cplx a0{}, a1{}, a2{}, a3{};
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    a0 += std::conj(x[i]) * y[i];
+    a1 += std::conj(x[i + 1]) * y[i + 1];
+    a2 += std::conj(x[i + 2]) * y[i + 2];
+    a3 += std::conj(x[i + 3]) * y[i + 3];
+  }
+  for (; i < len; ++i) a0 += std::conj(x[i]) * y[i];
+  return (a0 + a1) + (a2 + a3);
+}
+
+double norm2_sum_portable(const cplx* x, std::size_t len) {
+  double a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    a0 += norm2(x[i]);
+    a1 += norm2(x[i + 1]);
+    a2 += norm2(x[i + 2]);
+    a3 += norm2(x[i + 3]);
+  }
+  for (; i < len; ++i) a0 += norm2(x[i]);
+  return (a0 + a1) + (a2 + a3);
+}
+
+void rotate_pair_portable(cplx* x, cplx* y, std::size_t len, double cs,
+                          double sn, cplx esn, cplx ecs) {
+  for (std::size_t i = 0; i < len; ++i) {
+    const cplx xi = x[i], yi = y[i];
+    x[i] = cs * xi + esn * yi;
+    y[i] = -sn * xi + ecs * yi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA path. Compiled with per-function target attributes so the rest of
+// the build keeps the portable baseline flags; only ever called after the
+// runtime CPU check. Complex products use the plain (ac - bd, ad + bc)
+// formula — no Annex-G infinity recovery — which matches IEEE propagation
+// for the 0 * NaN / 0 * Inf cases the differential tests pin.
+// ---------------------------------------------------------------------------
+
+#if Q2_SIMD_X86
+
+__attribute__((target("avx2,fma"))) void micro_accumulate_d_avx2(
+    std::size_t kc, const double* ap, const double* bp, double* acc) {
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(bp + p * 8);
+    const __m256d b1 = _mm256_loadu_pd(bp + p * 8 + 4);
+    const double* a = ap + p * 4;
+    __m256d ai = _mm256_broadcast_sd(a + 0);
+    c00 = _mm256_fmadd_pd(ai, b0, c00);
+    c01 = _mm256_fmadd_pd(ai, b1, c01);
+    ai = _mm256_broadcast_sd(a + 1);
+    c10 = _mm256_fmadd_pd(ai, b0, c10);
+    c11 = _mm256_fmadd_pd(ai, b1, c11);
+    ai = _mm256_broadcast_sd(a + 2);
+    c20 = _mm256_fmadd_pd(ai, b0, c20);
+    c21 = _mm256_fmadd_pd(ai, b1, c21);
+    ai = _mm256_broadcast_sd(a + 3);
+    c30 = _mm256_fmadd_pd(ai, b0, c30);
+    c31 = _mm256_fmadd_pd(ai, b1, c31);
+  }
+  _mm256_storeu_pd(acc + 0, c00);
+  _mm256_storeu_pd(acc + 4, c01);
+  _mm256_storeu_pd(acc + 8, c10);
+  _mm256_storeu_pd(acc + 12, c11);
+  _mm256_storeu_pd(acc + 16, c20);
+  _mm256_storeu_pd(acc + 20, c21);
+  _mm256_storeu_pd(acc + 24, c30);
+  _mm256_storeu_pd(acc + 28, c31);
+}
+
+// Complex 4x4 tile: each accumulator row is 4 interleaved cplx (2 YMM).
+// One complex multiply-accumulate per lane pair:
+//   t    = ai * swap(b)                [ai*bi, ai*br]
+//   fmaddsub(ar, b, t)                 even: ar*br - ai*bi, odd: ar*bi + ai*br
+__attribute__((target("avx2,fma"))) void micro_accumulate_z_avx2(
+    std::size_t kc, const cplx* ap, const cplx* bp, cplx* acc) {
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* b = reinterpret_cast<const double*>(bp + p * 4);
+    const __m256d b0 = _mm256_loadu_pd(b);
+    const __m256d b1 = _mm256_loadu_pd(b + 4);
+    const __m256d bs0 = _mm256_permute_pd(b0, 0x5);
+    const __m256d bs1 = _mm256_permute_pd(b1, 0x5);
+    const double* a = reinterpret_cast<const double*>(ap + p * 4);
+    __m256d ar = _mm256_broadcast_sd(a + 0);
+    __m256d ai = _mm256_broadcast_sd(a + 1);
+    c00 = _mm256_add_pd(
+        c00, _mm256_fmaddsub_pd(ar, b0, _mm256_mul_pd(ai, bs0)));
+    c01 = _mm256_add_pd(
+        c01, _mm256_fmaddsub_pd(ar, b1, _mm256_mul_pd(ai, bs1)));
+    ar = _mm256_broadcast_sd(a + 2);
+    ai = _mm256_broadcast_sd(a + 3);
+    c10 = _mm256_add_pd(
+        c10, _mm256_fmaddsub_pd(ar, b0, _mm256_mul_pd(ai, bs0)));
+    c11 = _mm256_add_pd(
+        c11, _mm256_fmaddsub_pd(ar, b1, _mm256_mul_pd(ai, bs1)));
+    ar = _mm256_broadcast_sd(a + 4);
+    ai = _mm256_broadcast_sd(a + 5);
+    c20 = _mm256_add_pd(
+        c20, _mm256_fmaddsub_pd(ar, b0, _mm256_mul_pd(ai, bs0)));
+    c21 = _mm256_add_pd(
+        c21, _mm256_fmaddsub_pd(ar, b1, _mm256_mul_pd(ai, bs1)));
+    ar = _mm256_broadcast_sd(a + 6);
+    ai = _mm256_broadcast_sd(a + 7);
+    c30 = _mm256_add_pd(
+        c30, _mm256_fmaddsub_pd(ar, b0, _mm256_mul_pd(ai, bs0)));
+    c31 = _mm256_add_pd(
+        c31, _mm256_fmaddsub_pd(ar, b1, _mm256_mul_pd(ai, bs1)));
+  }
+  double* out = reinterpret_cast<double*>(acc);
+  _mm256_storeu_pd(out + 0, c00);
+  _mm256_storeu_pd(out + 4, c01);
+  _mm256_storeu_pd(out + 8, c10);
+  _mm256_storeu_pd(out + 12, c11);
+  _mm256_storeu_pd(out + 16, c20);
+  _mm256_storeu_pd(out + 20, c21);
+  _mm256_storeu_pd(out + 24, c30);
+  _mm256_storeu_pd(out + 28, c31);
+}
+
+// conj(x)*y per lane pair: even lanes xr*yr + xi*yi, odd lanes xr*yi - xi*yr
+// == fmsubadd(dup_even(x), y, dup_odd(x) * swap(y)). Two accumulator chains,
+// combined (acc0 + acc1) then low+high lane — a fixed order.
+__attribute__((target("avx2,fma"))) cplx dot_conj_avx2(const cplx* x,
+                                                       const cplx* y,
+                                                       std::size_t len) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const double* xd = reinterpret_cast<const double*>(x);
+  const double* yd = reinterpret_cast<const double*>(y);
+  for (; i + 4 <= len; i += 4) {
+    const __m256d x0 = _mm256_loadu_pd(xd + 2 * i);
+    const __m256d y0 = _mm256_loadu_pd(yd + 2 * i);
+    const __m256d x1 = _mm256_loadu_pd(xd + 2 * i + 4);
+    const __m256d y1 = _mm256_loadu_pd(yd + 2 * i + 4);
+    const __m256d t0 =
+        _mm256_mul_pd(_mm256_permute_pd(x0, 0xF), _mm256_permute_pd(y0, 0x5));
+    acc0 = _mm256_add_pd(acc0,
+                         _mm256_fmsubadd_pd(_mm256_movedup_pd(x0), y0, t0));
+    const __m256d t1 =
+        _mm256_mul_pd(_mm256_permute_pd(x1, 0xF), _mm256_permute_pd(y1, 0x5));
+    acc1 = _mm256_add_pd(acc1,
+                         _mm256_fmsubadd_pd(_mm256_movedup_pd(x1), y1, t1));
+  }
+  const __m256d sum = _mm256_add_pd(acc0, acc1);
+  const __m128d lane =
+      _mm_add_pd(_mm256_castpd256_pd128(sum), _mm256_extractf128_pd(sum, 1));
+  alignas(16) double parts[2];
+  _mm_store_pd(parts, lane);
+  cplx s{parts[0], parts[1]};
+  for (; i < len; ++i) s += std::conj(x[i]) * y[i];
+  return s;
+}
+
+__attribute__((target("avx2,fma"))) double norm2_sum_avx2(const cplx* x,
+                                                          std::size_t len) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const double* xd = reinterpret_cast<const double*>(x);
+  for (; i + 4 <= len; i += 4) {
+    const __m256d x0 = _mm256_loadu_pd(xd + 2 * i);
+    const __m256d x1 = _mm256_loadu_pd(xd + 2 * i + 4);
+    acc0 = _mm256_fmadd_pd(x0, x0, acc0);
+    acc1 = _mm256_fmadd_pd(x1, x1, acc1);
+  }
+  const __m256d sum = _mm256_add_pd(acc0, acc1);
+  const __m128d lane =
+      _mm_add_pd(_mm256_castpd256_pd128(sum), _mm256_extractf128_pd(sum, 1));
+  alignas(16) double parts[2];
+  _mm_store_pd(parts, lane);
+  double s = parts[0] + parts[1];
+  for (; i < len; ++i) s += norm2(x[i]);
+  return s;
+}
+
+__attribute__((target("avx2,fma"))) void rotate_pair_avx2(
+    cplx* x, cplx* y, std::size_t len, double cs, double sn, cplx esn,
+    cplx ecs) {
+  const __m256d csv = _mm256_set1_pd(cs);
+  const __m256d snv = _mm256_set1_pd(sn);
+  const __m256d er = _mm256_set1_pd(esn.real());
+  const __m256d ei = _mm256_set1_pd(esn.imag());
+  const __m256d cr = _mm256_set1_pd(ecs.real());
+  const __m256d ci = _mm256_set1_pd(ecs.imag());
+  double* xd = reinterpret_cast<double*>(x);
+  double* yd = reinterpret_cast<double*>(y);
+  std::size_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    const __m256d xv = _mm256_loadu_pd(xd + 2 * i);
+    const __m256d yv = _mm256_loadu_pd(yd + 2 * i);
+    const __m256d ys = _mm256_permute_pd(yv, 0x5);
+    // esn * y and ecs * y as complex scalar-times-vector products.
+    const __m256d p = _mm256_fmaddsub_pd(er, yv, _mm256_mul_pd(ei, ys));
+    const __m256d q = _mm256_fmaddsub_pd(cr, yv, _mm256_mul_pd(ci, ys));
+    _mm256_storeu_pd(xd + 2 * i, _mm256_fmadd_pd(csv, xv, p));
+    _mm256_storeu_pd(yd + 2 * i, _mm256_fnmadd_pd(snv, xv, q));
+  }
+  for (; i < len; ++i) {
+    const cplx xi = x[i], yi = y[i];
+    const cplx p{esn.real() * yi.real() - esn.imag() * yi.imag(),
+                 esn.real() * yi.imag() + esn.imag() * yi.real()};
+    const cplx q{ecs.real() * yi.real() - ecs.imag() * yi.imag(),
+                 ecs.real() * yi.imag() + ecs.imag() * yi.real()};
+    x[i] = cplx{cs * xi.real() + p.real(), cs * xi.imag() + p.imag()};
+    y[i] = cplx{q.real() - sn * xi.real(), q.imag() - sn * xi.imag()};
+  }
+}
+
+#endif  // Q2_SIMD_X86
+
+}  // namespace
+
+Isa active_isa() {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return static_cast<Isa>(ov);
+  static const Isa detected = detect();
+  return detected;
+}
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2Fma ? "avx2-fma" : "portable";
+}
+
+void set_isa_override(Isa isa) {
+  if (isa == Isa::kAvx2Fma && !cpu_has_avx2_fma()) isa = Isa::kPortable;
+  g_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_isa_override() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+void micro_accumulate_d(std::size_t kc, const double* ap, const double* bp,
+                        double* acc) {
+#if Q2_SIMD_X86
+  if (active_isa() == Isa::kAvx2Fma)
+    return micro_accumulate_d_avx2(kc, ap, bp, acc);
+#endif
+  micro_accumulate_d_portable(kc, ap, bp, acc);
+}
+
+void micro_accumulate_z(std::size_t kc, const cplx* ap, const cplx* bp,
+                        cplx* acc) {
+#if Q2_SIMD_X86
+  if (active_isa() == Isa::kAvx2Fma)
+    return micro_accumulate_z_avx2(kc, ap, bp, acc);
+#endif
+  micro_accumulate_z_portable(kc, ap, bp, acc);
+}
+
+cplx dot_conj(const cplx* x, const cplx* y, std::size_t len) {
+#if Q2_SIMD_X86
+  if (active_isa() == Isa::kAvx2Fma) return dot_conj_avx2(x, y, len);
+#endif
+  return dot_conj_portable(x, y, len);
+}
+
+double norm2_sum(const cplx* x, std::size_t len) {
+#if Q2_SIMD_X86
+  if (active_isa() == Isa::kAvx2Fma) return norm2_sum_avx2(x, len);
+#endif
+  return norm2_sum_portable(x, len);
+}
+
+void rotate_pair(cplx* x, cplx* y, std::size_t len, double cs, double sn,
+                 cplx esn, cplx ecs) {
+#if Q2_SIMD_X86
+  if (active_isa() == Isa::kAvx2Fma)
+    return rotate_pair_avx2(x, y, len, cs, sn, esn, ecs);
+#endif
+  rotate_pair_portable(x, y, len, cs, sn, esn, ecs);
+}
+
+}  // namespace q2::la::simd

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "linalg/gemm.hpp"
+#include "linalg/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/workload.hpp"
@@ -75,33 +76,16 @@ obs::Counter& sweeps_counter() {
   return c;
 }
 
-// <x, y> with four independent accumulator chains combined in a fixed order:
-// the chains pipeline, and the combine order never depends on the thread
-// count, so the blocked dot is both fast and deterministic.
+// Gram dot and column-norm inner loops live in linalg/simd.* now (AVX2 when
+// the host has it, the old four-chain scalar code otherwise); both ISAs use a
+// fixed combine order that never depends on the thread count, so the blocked
+// dot stays deterministic.
 cplx dot_conj_blocked(const cplx* x, const cplx* y, std::size_t len) {
-  cplx a0{}, a1{}, a2{}, a3{};
-  std::size_t i = 0;
-  for (; i + 4 <= len; i += 4) {
-    a0 += std::conj(x[i]) * y[i];
-    a1 += std::conj(x[i + 1]) * y[i + 1];
-    a2 += std::conj(x[i + 2]) * y[i + 2];
-    a3 += std::conj(x[i + 3]) * y[i + 3];
-  }
-  for (; i < len; ++i) a0 += std::conj(x[i]) * y[i];
-  return (a0 + a1) + (a2 + a3);
+  return simd::dot_conj(x, y, len);
 }
 
 double norm2_blocked(const cplx* x, std::size_t len) {
-  double a0 = 0, a1 = 0, a2 = 0, a3 = 0;
-  std::size_t i = 0;
-  for (; i + 4 <= len; i += 4) {
-    a0 += norm2(x[i]);
-    a1 += norm2(x[i + 1]);
-    a2 += norm2(x[i + 2]);
-    a3 += norm2(x[i + 3]);
-  }
-  for (; i < len; ++i) a0 += norm2(x[i]);
-  return (a0 + a1) + (a2 + a3);
+  return simd::norm2_sum(x, len);
 }
 
 // One Jacobi run over the row-packed operand W (nw rows of length len; row j
@@ -140,18 +124,9 @@ double process_pair(const JacobiRun& run, std::size_t p, std::size_t q) {
   const double cs = std::cos(theta), sn = std::sin(theta);
   const cplx esn = phase_conj * sn;
   const cplx ecs = phase_conj * cs;
-  for (std::size_t i = 0; i < run.len; ++i) {
-    const cplx x = wp[i], y = wq[i];
-    wp[i] = cs * x + esn * y;
-    wq[i] = -sn * x + ecs * y;
-  }
-  cplx* vp = run.vt + p * run.nw;
-  cplx* vq = run.vt + q * run.nw;
-  for (std::size_t i = 0; i < run.nw; ++i) {
-    const cplx x = vp[i], y = vq[i];
-    vp[i] = cs * x + esn * y;
-    vq[i] = -sn * x + ecs * y;
-  }
+  simd::rotate_pair(wp, wq, run.len, cs, sn, esn, ecs);
+  simd::rotate_pair(run.vt + p * run.nw, run.vt + q * run.nw, run.nw, cs, sn,
+                    esn, ecs);
   const double cross = 2.0 * cs * sn * absc;
   // Clamp at zero: when the rotation annihilates column q the subtraction
   // can round below zero, and a negative cached norm would NaN the next

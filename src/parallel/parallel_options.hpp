@@ -13,8 +13,13 @@ struct ParallelOptions {
   /// variable if set, otherwise the global pool size. 1 = run serially on the
   /// calling thread (no pool involvement).
   std::size_t n_threads = 0;
-  /// Minimum iterations per dynamically-claimed chunk.
-  std::size_t grain = 1;
+  /// Minimum iterations per dynamically-claimed chunk. 0 (the default)
+  /// auto-sizes to ~8 chunks per claimant — large ranges stop paying one
+  /// atomic claim per iteration; set 1 explicitly when every iteration is a
+  /// coarse unit of work (a GEMM macro-tile, a DMET fragment solve).
+  /// Chunking never changes results: bodies write per-index slots and
+  /// reductions combine in index order.
+  std::size_t grain = 0;
   /// Combine per-chunk partial results in index order so the floating-point
   /// reduction is identical for every thread count (parallel == serial
   /// bit-for-bit). Disabling allows first-come combining; nothing in-tree

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -38,20 +40,43 @@ obs::Gauge& occupancy_gauge() {
   static obs::Gauge& g = obs::Registry::global().gauge("pool.active_chunks");
   return g;
 }
-/// Fraction of the last parallel_for's chunk slots filled with iterations:
-/// (end - begin) / (chunks * grain). Below 1.0 the final chunk is ragged —
-/// a grain mismatched to the range.
-obs::Gauge& grain_occupancy_gauge() {
-  static obs::Gauge& g =
-      obs::Registry::global().gauge("pool.grain_occupancy");
-  return g;
+/// Per-loop distribution of chunk-slot occupancy: each parallel_for observes
+/// (end - begin) / (chunks * grain) once. Below 1.0 the final chunk is
+/// ragged — a grain mismatched to the range. A histogram rather than a
+/// gauge: concurrent/nested loops used to overwrite each other
+/// (last-writer-wins), turning nested-loop profiles into garbage.
+obs::Histogram& grain_occupancy_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pool.grain_occupancy", {0.25, 0.5, 0.75, 0.9, 0.99, 1.0});
+  return h;
+}
+obs::Counter& scratch_checkout_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.scratch_checkouts");
+  return c;
+}
+obs::Counter& scratch_grow_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pool.scratch_grows");
+  return c;
 }
 
 std::size_t env_threads() {
   const char* s = std::getenv("Q2_THREADS");
   if (!s || !*s) return 0;
-  const long v = std::strtol(s, nullptr, 10);
-  return v > 0 ? std::size_t(v) : 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0) {
+    // Warn once: this resolver runs on every parallel_for dispatch.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      std::fprintf(stderr,
+                   "q2: ignoring invalid Q2_THREADS='%s' (want a positive "
+                   "integer)\n",
+                   s);
+    return 0;
+  }
+  return std::size_t(v);
 }
 
 std::atomic<std::size_t> g_default_threads{0};
@@ -76,13 +101,74 @@ void configure_threads_from_args(int& argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
-      if (v > 0) set_default_threads(std::size_t(v));
+      const char* val = arg.c_str() + 10;
+      char* end = nullptr;
+      const long v = std::strtol(val, &end, 10);
+      if (end == val || *end != '\0' || v <= 0) {
+        // The flag used to vanish silently (removed from argv, no effect) —
+        // a typo like --threads=O4 ran the whole sweep single-threaded.
+        std::fprintf(stderr,
+                     "q2: ignoring invalid --threads='%s' (want a positive "
+                     "integer)\n",
+                     val);
+      } else {
+        set_default_threads(std::size_t(v));
+      }
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+}
+
+// ---------------------------------------------------------------------------
+// Pool-resident per-thread scratch arena
+// ---------------------------------------------------------------------------
+
+struct Scratch::Block {
+  std::unique_ptr<unsigned char[]> bytes;
+  std::size_t cap = 0;
+  std::uint64_t tags[2] = {kNoTag, kNoTag};
+  bool in_use = false;
+};
+
+namespace {
+// Freelist of this thread's scratch blocks. LIFO checkout: the most recently
+// returned block is handed out first, so a loop body re-acquiring scratch on
+// every iteration keeps hitting the same warm allocation.
+thread_local std::vector<std::unique_ptr<Scratch::Block>> t_scratch_blocks;
+}  // namespace
+
+Scratch::Scratch(std::size_t min_bytes) : block_(nullptr) {
+  scratch_checkout_counter().add();
+  for (auto it = t_scratch_blocks.rbegin(); it != t_scratch_blocks.rend();
+       ++it) {
+    if (!(*it)->in_use) {
+      block_ = it->get();
+      break;
+    }
+  }
+  if (!block_) {
+    t_scratch_blocks.push_back(std::make_unique<Block>());
+    block_ = t_scratch_blocks.back().get();
+  }
+  block_->in_use = true;
+  if (block_->cap < min_bytes) {
+    scratch_grow_counter().add();
+    block_->bytes = std::make_unique<unsigned char[]>(min_bytes);
+    block_->cap = min_bytes;
+    block_->tags[0] = kNoTag;
+    block_->tags[1] = kNoTag;
+  }
+}
+
+Scratch::~Scratch() { block_->in_use = false; }
+
+void* Scratch::data() const { return block_->bytes.get(); }
+std::size_t Scratch::capacity() const { return block_->cap; }
+std::uint64_t Scratch::tag(int slot) const { return block_->tags[slot]; }
+void Scratch::set_tag(int slot, std::uint64_t value) {
+  block_->tags[slot] = value;
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -212,7 +298,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // path) can never dangle — but the barrier below means st outlives them
   // anyway.
   const std::size_t chunks = (end - begin + grain - 1) / grain;
-  grain_occupancy_gauge().set(double(end - begin) / double(chunks * grain));
+  grain_occupancy_histogram().observe(double(end - begin) /
+                                      double(chunks * grain));
   std::size_t claimants = std::min(size() + 1, chunks);
   if (max_threads > 0) claimants = std::min(claimants, max_threads);
   for (std::size_t w = 1; w < claimants; ++w)
@@ -266,11 +353,18 @@ void parallel_for(const ParallelOptions& opts, std::size_t begin,
                   std::size_t end, const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = resolve_threads(opts);
-  if (n <= 1) {
+  if (n <= 1 || end - begin == 1) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  ThreadPool::global().parallel_for(begin, end, fn, opts.grain, n);
+  std::size_t grain = opts.grain;
+  if (grain == 0) {
+    // Auto-grain: ~8 chunks per claimant. Dynamic claiming still balances
+    // ragged bodies, but a 652k-iteration SVD rotation sweep stops paying
+    // 652k atomic claims (and chunk-counter bumps) for 1-element chunks.
+    grain = std::max<std::size_t>(1, (end - begin) / (n * 8));
+  }
+  ThreadPool::global().parallel_for(begin, end, fn, grain, n);
 }
 
 }  // namespace q2::par

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -23,6 +24,38 @@
 #include "parallel/parallel_options.hpp"
 
 namespace q2::par {
+
+/// RAII checkout of a pool-resident, per-thread scratch buffer. Buffers live
+/// in a thread-local freelist: checking one out inside a parallel_for body
+/// returns the same grow-only allocation on every iteration the thread
+/// claims, so hot loops (GEMM A-panel packing) stop paying a malloc per
+/// tile. Checkout order is LIFO, which makes nested checkouts (a body that
+/// itself runs a kernel using scratch) safe — each level gets its own block.
+///
+/// Two caller-owned 64-bit tags ride on the buffer and survive checkouts
+/// while the allocation survives; growing the buffer resets them to
+/// Scratch::kNoTag. The GEMM uses them as a (loop-id, tile-row) key to skip
+/// re-packing an A block the thread already packed.
+class Scratch {
+ public:
+  static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
+  explicit Scratch(std::size_t min_bytes);
+  ~Scratch();
+
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  void* data() const;
+  std::size_t capacity() const;
+  std::uint64_t tag(int slot) const;
+  void set_tag(int slot, std::uint64_t value);
+
+  struct Block;  // defined in thread_pool.cpp
+
+ private:
+  Block* block_;
+};
 
 class ThreadPool {
  public:
@@ -70,7 +103,11 @@ class ThreadPool {
 /// Options-driven entry point for the on-node hot loops: resolves the thread
 /// count (explicit > Q2_THREADS > pool size), runs fn(i) serially on the
 /// calling thread when it resolves to 1, and otherwise fans out on the global
-/// pool with at most that many concurrent claimants.
+/// pool with at most that many concurrent claimants. opts.grain == 0 (the
+/// default) auto-sizes chunks to ~8 per claimant, bounding the atomic
+/// claim overhead on huge ranges (the 652k-chunk SVD sweeps) while keeping
+/// dynamic load balance; chunking never affects results — bodies write
+/// per-index slots and reductions combine in index order.
 void parallel_for(const ParallelOptions& opts, std::size_t begin,
                   std::size_t end, const std::function<void(std::size_t)>& fn);
 

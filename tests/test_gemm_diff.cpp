@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "diff_util.hpp"
+#include "linalg/simd.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace q2::la {
@@ -166,6 +167,95 @@ TEST(GemmDiff, GemmTileAccumulates) {
   gemm_reference(cplx{1}, a, Op::kNone, b, Op::kNone, cplx{1}, expected);
   gemm_tile(a.data(), k, b.data(), n, c.data(), n, m, k, n);
   EXPECT_LE(max_abs_diff(c, expected), tolerance(k, expected.max_abs()));
+}
+
+// gemm_raw validates the stride of every operand against its *stored* shape:
+// op == kNone reads A as m x k (lda >= k), transposed/adjoint ops read the
+// k x m storage (lda >= m); likewise ldb against n / k. An undersized stride
+// used to read out of bounds silently.
+TEST(GemmDiff, GemmRawRejectsUndersizedStrides) {
+  const std::size_t m = 6, k = 5, n = 4;
+  std::vector<cplx> a(64), b(64), c(64);
+
+  // All-valid baseline (generous strides) must not throw.
+  EXPECT_NO_THROW(
+      gemm_raw(m, k, n, a.data(), 8, Op::kNone, b.data(), 8, Op::kNone,
+               c.data(), 8));
+  EXPECT_NO_THROW(
+      gemm_raw(m, k, n, a.data(), 8, Op::kTrans, b.data(), 8, Op::kAdjoint,
+               c.data(), 8));
+
+  // lda: kNone needs >= k, kTrans/kAdjoint need >= m.
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), k - 1, Op::kNone, b.data(), 8,
+                        Op::kNone, c.data(), 8),
+               q2::Error);
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), m - 1, Op::kTrans, b.data(), 8,
+                        Op::kNone, c.data(), 8),
+               q2::Error);
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), m - 1, Op::kAdjoint, b.data(), 8,
+                        Op::kNone, c.data(), 8),
+               q2::Error);
+  // A stride legal for the op's storage but smaller than the other
+  // dimension must be accepted: stored k x m only needs lda >= m.
+  EXPECT_NO_THROW(
+      gemm_raw(n, k, m, a.data(), n, Op::kTrans, b.data(), 8, Op::kNone,
+               c.data(), 8));
+
+  // ldb: kNone needs >= n, kTrans/kAdjoint need >= k.
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), 8, Op::kNone, b.data(), n - 1,
+                        Op::kNone, c.data(), 8),
+               q2::Error);
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), 8, Op::kNone, b.data(), k - 1,
+                        Op::kTrans, c.data(), 8),
+               q2::Error);
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), 8, Op::kNone, b.data(), k - 1,
+                        Op::kAdjoint, c.data(), 8),
+               q2::Error);
+
+  // ldc < n (pre-existing check, kept).
+  EXPECT_THROW(gemm_raw(m, k, n, a.data(), 8, Op::kNone, b.data(), 8,
+                        Op::kNone, c.data(), n - 1),
+               q2::Error);
+}
+
+TEST(GemmDiff, GemmOffsetsIntoRejectsNullOperands) {
+  const std::size_t m = 2, k = 2, n = 2;
+  std::vector<cplx> data(16), out(16);
+  const std::vector<std::size_t> roff{0, 4}, coff{0, 1};
+  EXPECT_THROW(gemm_offsets_into(m, k, n, nullptr, roff, coff, data.data(),
+                                 roff, coff, out.data(), n),
+               q2::Error);
+  EXPECT_THROW(gemm_offsets_into(m, k, n, data.data(), roff, coff, nullptr,
+                                 roff, coff, out.data(), n),
+               q2::Error);
+  EXPECT_THROW(gemm_offsets_into(m, k, n, data.data(), roff, coff, data.data(),
+                                 roff, coff, nullptr, n),
+               q2::Error);
+}
+
+// The portable scalar path and whatever ISA dispatch picked must agree to
+// rounding (they sum in different orders), and each must uphold the
+// thread-count determinism contract on its own.
+TEST(GemmDiff, PortableIsaAgreesWithDispatch) {
+  Rng rng(909);
+  const std::size_t m = 70, k = 129, n = 53;
+  const CMatrix a = random_cmatrix(m, k, rng);
+  const CMatrix b = random_cmatrix(k, n, rng);
+
+  simd::set_isa_override(simd::Isa::kPortable);
+  const CMatrix c_portable = matmul(a, b);
+  CMatrix c_portable_mt;
+  {
+    par::ParallelOptions opts;
+    opts.n_threads = 4;
+    c_portable_mt = matmul(a, b, Op::kNone, Op::kNone, opts);
+  }
+  simd::clear_isa_override();
+
+  const CMatrix c_active = matmul(a, b);
+  EXPECT_TRUE(bit_identical(c_portable_mt, c_portable));
+  EXPECT_LE(max_abs_diff(c_active, c_portable),
+            tolerance(k, c_portable.max_abs()));
 }
 
 TEST(GemmDiff, OffsetTablesReproducePlainProduct) {

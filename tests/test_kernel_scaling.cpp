@@ -1,0 +1,80 @@
+// Thread-scaling regression floor for the packed GEMM (the flat-scaling bug
+// fixed by the 2-D tile decomposition): a 384^3 complex product must get at
+// least 1.8x faster going 1 -> 2 threads on hosts with >= 4 hardware
+// threads. Wall-clock floors are meaningless on starved runners (CI
+// containers pinned to one core), so the test skips with a note there —
+// bench_kernels' recorded scaling metrics plus tools/bench_diff carry the
+// trend on such hosts instead.
+//
+// The bit-identity check runs everywhere: whatever the speedup, thread
+// counts must never change a single bit of the product.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "linalg/gemm.hpp"
+
+namespace q2::la {
+namespace {
+
+CMatrix random_cmatrix(std::size_t r, std::size_t c, Rng& rng) {
+  CMatrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return m;
+}
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+TEST(KernelScaling, GemmTwoThreadSpeedupFloor) {
+  constexpr std::size_t kN = 384;
+  Rng rng(42);
+  const CMatrix a = random_cmatrix(kN, kN, rng);
+  const CMatrix b = random_cmatrix(kN, kN, rng);
+
+  auto run_at = [&](std::size_t threads, CMatrix& out) {
+    par::ParallelOptions opts;
+    opts.n_threads = threads;
+    return best_of(3, [&] {
+      out = matmul(a, b, Op::kNone, Op::kNone, opts);
+    });
+  };
+
+  CMatrix c1, c2, c4;
+  const double t1 = run_at(1, c1);
+  const double t2 = run_at(2, c2);
+  run_at(4, c4);
+
+  // Determinism is unconditional — asserted before any skip.
+  ASSERT_EQ(c1.size(), c2.size());
+  EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(cplx)), 0)
+      << "1 vs 2 threads not bit-identical";
+  EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(cplx)), 0)
+      << "1 vs 4 threads not bit-identical";
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 4) {
+    GTEST_SKIP() << "host reports " << cores
+                 << " hardware thread(s); the 1.8x two-thread scaling floor "
+                    "needs >= 4 to be meaningful";
+  }
+  const double scaling = t1 / t2;
+  EXPECT_GE(scaling, 1.8)
+      << "384^3 complex GEMM 1->2 thread scaling " << scaling
+      << "x below the 1.8x floor (t1=" << t1 << "s, t2=" << t2 << "s)";
+}
+
+}  // namespace
+}  // namespace q2::la

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/thread_pool.hpp"
@@ -174,6 +177,123 @@ TEST(ParallelForOptions, DefaultThreadsOverrideApplies) {
   EXPECT_EQ(resolve_threads(opts), 3u);
   set_default_threads(0);
   EXPECT_GE(resolve_threads(opts), 1u);
+}
+
+TEST(ParallelForOptions, ConfigureThreadsRejectsInvalidValues) {
+  // Invalid --threads values must be stripped (shared flag parsing) but NOT
+  // silently applied — the default stays, and a warning lands on stderr.
+  set_default_threads(2);
+  for (const char* bad : {"--threads=0", "--threads=-1", "--threads=abc",
+                          "--threads=O4", "--threads="}) {
+    char prog[] = "prog", flag[64], tail[] = "tail";
+    std::strncpy(flag, bad, sizeof(flag) - 1);
+    flag[sizeof(flag) - 1] = '\0';
+    char* argv[] = {prog, flag, tail};
+    int argc = 3;
+    testing::internal::CaptureStderr();
+    configure_threads_from_args(argc, argv);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("ignoring invalid --threads"), std::string::npos)
+        << bad;
+    EXPECT_EQ(argc, 2) << bad;  // flag stripped either way
+    EXPECT_STREQ(argv[1], "tail");
+    ParallelOptions opts;
+    EXPECT_EQ(resolve_threads(opts), 2u) << bad;
+  }
+  // A valid value still applies without a warning.
+  {
+    char prog[] = "prog", flag[] = "--threads=3";
+    char* argv[] = {prog, flag};
+    int argc = 2;
+    testing::internal::CaptureStderr();
+    configure_threads_from_args(argc, argv);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    ParallelOptions opts;
+    EXPECT_EQ(resolve_threads(opts), 3u);
+  }
+  set_default_threads(0);
+}
+
+TEST(ParallelForOptions, InvalidEnvThreadsWarnsOnceAndFallsThrough) {
+  set_default_threads(0);
+  ASSERT_EQ(setenv("Q2_THREADS", "not-a-number", 1), 0);
+  ParallelOptions opts;
+  testing::internal::CaptureStderr();
+  const std::size_t resolved = resolve_threads(opts);
+  const std::string first = testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("ignoring invalid Q2_THREADS"), std::string::npos);
+  EXPECT_EQ(resolved, ThreadPool::global().size());  // env value ignored
+  // Warn-once: the resolver runs on every dispatch, so repeats stay silent.
+  testing::internal::CaptureStderr();
+  resolve_threads(opts);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  unsetenv("Q2_THREADS");
+}
+
+TEST(ThreadPool, ScratchReusesThreadLocalBlocks) {
+  using q2::obs::Registry;
+  const auto counters = [] {
+    const auto snap = Registry::global().snapshot();
+    std::uint64_t checkouts = 0, grows = 0;
+    for (const auto& [name, v] : snap.counters) {
+      if (name == "pool.scratch_checkouts") checkouts = v;
+      if (name == "pool.scratch_grows") grows = v;
+    }
+    return std::make_pair(checkouts, grows);
+  };
+
+  const auto [c0, g0] = counters();
+  void* first = nullptr;
+  {
+    Scratch s(256);
+    first = s.data();
+    ASSERT_NE(first, nullptr);
+    EXPECT_GE(s.capacity(), 256u);
+    // Fresh (or grown) blocks carry no tags.
+    EXPECT_EQ(s.tag(0), Scratch::kNoTag);
+    s.set_tag(0, 42);
+    s.set_tag(1, 7);
+  }
+  {
+    // Same thread, same size: the freed block comes back, allocation and
+    // tags intact.
+    Scratch s(256);
+    EXPECT_EQ(s.data(), first);
+    EXPECT_EQ(s.tag(0), 42u);
+    EXPECT_EQ(s.tag(1), 7u);
+    {
+      // Nested checkout must get a distinct block (LIFO, not the in-use one).
+      Scratch inner(64);
+      EXPECT_NE(inner.data(), s.data());
+    }
+    // Growing resets the tags: stale (loop, tile) keys must not survive a
+    // reallocation.
+    Scratch grown(4 * 1024 * 1024);
+    EXPECT_EQ(grown.tag(0), Scratch::kNoTag);
+  }
+  const auto [c1, g1] = counters();
+  EXPECT_EQ(c1 - c0, 4u);
+  EXPECT_GE(g1 - g0, 2u);  // first block + nested + growth; reuse adds none
+}
+
+TEST(ThreadPool, GrainOccupancyHistogramRecordsPerLoop) {
+  // Two loops with different raggedness must both land in the histogram —
+  // the old gauge was last-writer-wins, so concurrent/nested loops erased
+  // each other's values.
+  using q2::obs::Registry;
+  auto& h = Registry::global().histogram("pool.grain_occupancy",
+                                         {0.25, 0.5, 0.75, 0.9, 0.99, 1.0});
+  const std::uint64_t before = h.count();
+  ThreadPool pool(2);
+  // range 8, grain 4 -> 2 full chunks, occupancy 1.0.
+  pool.parallel_for(0, 8, [](std::size_t) {}, 4);
+  // range 7, grain 4 -> 2 chunks cover 8 slots, occupancy 7/8.
+  pool.parallel_for(0, 7, [](std::size_t) {}, 4);
+  EXPECT_EQ(h.count() - before, 2u);
+  // 7/8 lands in the (0.75, 0.9] bucket; 1.0 in the (0.99, 1.0] bucket.
+  const auto counts = h.bucket_counts();
+  EXPECT_GE(counts[3], 1u);
+  EXPECT_GE(counts[5], 1u);
 }
 
 TEST(Comm, BarrierAndRanks) {

@@ -20,7 +20,12 @@
 //                                          informational unless --strict.
 // Everything else (and keys present on only one side) is informational.
 //
-// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/IO/parse error.
+// When both reports record `hardware_threads` and they differ, a warning is
+// printed (scaling/speedup floors are only meaningful between hosts with the
+// same thread budget); under --strict the mismatch is fatal (exit 2).
+//
+// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/IO/parse/
+// host-mismatch error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -113,6 +118,25 @@ int run(int argc, char** argv) {
       numeric_fields(load(candidate_path));
   const std::map<std::string, double> base =
       numeric_fields(load(baseline_path));
+
+  // Scaling/speedup ratios only travel between hosts with comparable thread
+  // budgets: a baseline captured on a 1-core runner holds floors a 16-core
+  // candidate trivially beats (and vice versa, a many-core baseline fails a
+  // small host spuriously). Surface the mismatch; make it fatal under
+  // --strict so CI pins baseline and candidate to the same host class.
+  {
+    const auto cb = cand.find("hardware_threads");
+    const auto bb = base.find("hardware_threads");
+    if (cb != cand.end() && bb != base.end() && cb->second != bb->second) {
+      std::fprintf(stderr,
+                   "bench_diff: WARNING hardware_threads differ (baseline %g, "
+                   "candidate %g); scaling/speedup comparisons are not "
+                   "host-comparable%s\n",
+                   bb->second, cb->second,
+                   strict ? "" : " (pass --strict to make this fatal)");
+      if (strict) return 2;
+    }
+  }
 
   std::printf("%-44s %14s %14s %8s  %s\n", "metric", "baseline", "candidate",
               "ratio", "status");
