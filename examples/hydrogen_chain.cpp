@@ -18,7 +18,7 @@
 #include "chem/fci.hpp"
 #include "chem/hamiltonian.hpp"
 #include "chem/scf.hpp"
-#include "circuit/routing.hpp"
+#include "circuit/reorder.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "obs/obs.hpp"
 #include "parallel/parallel_options.hpp"
@@ -48,13 +48,19 @@ int main(int argc, char** argv) {
       chem::transform_to_mo(ints, scf.coefficients, scf.nuclear_repulsion);
   std::printf("RHF energy: %+.8f Ha\n", scf.energy);
 
-  // Inspect the ansatz circuit the MPS engine will execute.
+  // Inspect the compiled circuit the MPS engine will execute: the lazy
+  // reorder pass materializes only the SWAPs a gate actually needs and
+  // leaves the residual qubit permutation to the measurement step.
   const vqe::UccsdAnsatz ansatz = vqe::build_uccsd(mo.n_orbitals(), n / 2, n / 2);
-  const circ::Circuit routed = circ::route_to_nearest_neighbour(ansatz.circuit);
-  std::printf("UCCSD ansatz: %zu parameters, %zu gates (%zu two-qubit after"
-              " routing)\n",
+  const circ::CompiledCircuit compiled = circ::compile_for_mps(ansatz.circuit);
+  std::printf("UCCSD ansatz: %zu parameters, %zu gates -> %zu compiled"
+              " (%zu two-qubit)\n",
               ansatz.n_parameters, ansatz.circuit.size(),
-              routed.two_qubit_gate_count());
+              compiled.gates.size(), compiled.gates.two_qubit_gate_count());
+  std::printf("Lazy reorder: %zu SWAPs materialized, %zu elided (eager router"
+              " would pay %zu), %zu gates fused\n",
+              compiled.stats.swaps_materialized, compiled.stats.swaps_elided,
+              compiled.stats.swaps_eager, compiled.stats.gates_fused);
 
   // Distributed VQE over 4 simulated MPI ranks (paper Fig. 4, level 2).
   vqe::VqeOptions opts;

@@ -37,6 +37,24 @@ Mat4 kron(const Mat2& hi, const Mat2& lo) {
 
 constexpr Mat2 kId2{1, 0, 0, 1};
 
+/// Swaps the roles of the two bits in a 4x4 unitary: reindexes rows and
+/// columns through (b1 b0) -> (b0 b1), turning a matrix in (hi, lo) order
+/// into the same operator in (lo, hi) order.
+Mat4 exchange_bits(const Mat4& m) {
+  auto sw = [](int i) { return ((i & 1) << 1) | ((i >> 1) & 1); };
+  Mat4 r{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r[i * 4 + j] = m[sw(i) * 4 + sw(j)];
+  return r;
+}
+
+/// Gate matrix in the (hi = `hi_qubit`) bit convention, regardless of how
+/// the gate stores its qubit order.
+Mat4 matrix2_as(const Gate& g, int hi_qubit) {
+  const Mat4 m = g.matrix2();
+  return g.qubits[0] == hi_qubit ? m : exchange_bits(m);
+}
+
 }  // namespace
 
 Circuit fuse_single_qubit_gates(const Circuit& c) {
@@ -75,6 +93,41 @@ Circuit fuse_single_qubit_gates(const Circuit& c) {
     out.append(make_u2(a, b, fused));
   }
   for (int q = 0; q < c.n_qubits(); ++q) flush(q);
+  return out;
+}
+
+Circuit fuse_adjacent_two_qubit_gates(const Circuit& c) {
+  std::vector<Gate> gates;
+  gates.reserve(c.size());
+  for (const Gate& g : c.gates()) {
+    if (g.is_two_qubit() && !g.is_parametric()) {
+      const int a = g.qubits[0], b = g.qubits[1];
+      bool fused = false;
+      // Walk backwards past gates that don't touch {a, b}; the first gate
+      // that does either fuses (same pair, non-parametric) or is a barrier.
+      for (int j = int(gates.size()) - 1; j >= 0; --j) {
+        const Gate& prev = gates[std::size_t(j)];
+        if (prev.qubits[0] != a && prev.qubits[0] != b &&
+            prev.qubits[1] != a && prev.qubits[1] != b)
+          continue;
+        if (prev.is_two_qubit() && !prev.is_parametric() &&
+            std::min(prev.qubits[0], prev.qubits[1]) == std::min(a, b) &&
+            std::max(prev.qubits[0], prev.qubits[1]) == std::max(a, b)) {
+          const int hi = prev.qubits[0];
+          // g executes after prev: U = g * prev, in prev's bit order.
+          gates[std::size_t(j)] =
+              make_u2(prev.qubits[0], prev.qubits[1],
+                      mul4(matrix2_as(g, hi), matrix2_as(prev, hi)));
+          fused = true;
+        }
+        break;
+      }
+      if (fused) continue;
+    }
+    gates.push_back(g);
+  }
+  Circuit out(c.n_qubits());
+  for (auto& g : gates) out.append(std::move(g));
   return out;
 }
 

@@ -13,4 +13,12 @@ namespace q2::circ {
 /// gate has been fused into a neighbouring two-qubit gate where possible.
 Circuit fuse_single_qubit_gates(const Circuit& c);
 
+/// Merges consecutive non-parametric two-qubit gates acting on the same
+/// qubit pair into a single U4, commuting each candidate backwards past
+/// gates whose support is disjoint from the pair. A parametric gate (or any
+/// gate sharing exactly one qubit) on the path is a barrier. Together with
+/// the lazy reordering pass this absorbs routing SWAPs into their
+/// neighbouring gates, so the SVD runs on merged unitaries.
+Circuit fuse_adjacent_two_qubit_gates(const Circuit& c);
+
 }  // namespace q2::circ

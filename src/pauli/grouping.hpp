@@ -1,0 +1,47 @@
+// Commuting-group measurement planning: partitions the Pauli terms of a
+// Hamiltonian into qubit-wise commuting (QWC) groups so an expectation sweep
+// can share one transfer pass per group instead of one per term (the Eq. (2)
+// sum is dominated by terms with overlapping support). Grouping is a plan
+// only — per-term expectation values are still computed individually and
+// reduced in the original term order, so grouped energies are bit-identical
+// to the ungrouped serial sweep.
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace q2::pauli {
+
+/// True iff on every qubit the two strings agree or at least one is the
+/// identity — the QWC condition. O(n/64) on the packed masks.
+bool qubitwise_compatible(const PauliString& a, const PauliString& b);
+
+/// One measurement basis setting: the union basis of all members, the member
+/// indices into the caller's term list (ascending), and the union support
+/// range the sweep must cover.
+struct MeasurementGroup {
+  PauliString basis;                 ///< per-qubit union of member Paulis
+  std::vector<std::size_t> members;  ///< indices into the input term list
+  std::size_t lo = 0;                ///< first site of the union support
+  std::size_t hi = 0;                ///< last site of the union support
+};
+
+/// Greedy first-fit QWC partition. Deterministic: depends only on the input
+/// list and its order. Identity terms are skipped entirely (they carry no
+/// measurement). A term is placed in the first group whose union basis it is
+/// compatible with — compatibility with the union basis is equivalent to
+/// pairwise compatibility with every member.
+std::vector<MeasurementGroup> group_qubitwise_commuting(
+    const std::vector<PauliString>& terms);
+
+/// The shared support-range cost model: estimated transfer work for a sweep
+/// over sites [lo, hi]. Both the LPT term balancer
+/// (EnergyEvaluator::term_costs) and the measurement sweeps price work with
+/// this one function so the schedule and the sweep cannot drift apart.
+inline double support_cost(std::size_t lo, std::size_t hi) {
+  return 1.0 + double(hi - lo + 1);
+}
+double support_cost(const PauliString& p);
+
+}  // namespace q2::pauli

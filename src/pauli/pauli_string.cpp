@@ -96,6 +96,19 @@ bool PauliString::commutes_with(const PauliString& other) const {
   return (k % 2) == 0;
 }
 
+PauliString PauliString::permuted(const std::vector<int>& site_of) const {
+  require(site_of.size() == n_, "permuted: map size mismatch");
+  PauliString r(n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    const P p = get(q);
+    if (p == P::I) continue;
+    const int s = site_of[q];
+    require(s >= 0 && std::size_t(s) < n_, "permuted: site out of range");
+    r.set(std::size_t(s), p);
+  }
+  return r;
+}
+
 std::string PauliString::str() const {
   if (is_identity()) return "I";
   std::ostringstream out;

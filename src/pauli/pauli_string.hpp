@@ -37,6 +37,11 @@ class PauliString {
 
   bool commutes_with(const PauliString& other) const;
 
+  /// The same operator relabelled through a logical→site map: the Pauli on
+  /// logical qubit q moves to site site_of[q]. `site_of` must be a
+  /// permutation of [0, n).
+  PauliString permuted(const std::vector<int>& site_of) const;
+
   bool operator==(const PauliString& other) const {
     return n_ == other.n_ && x_ == other.x_ && z_ == other.z_;
   }

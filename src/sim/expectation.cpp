@@ -2,19 +2,9 @@
 
 #include <cmath>
 
+#include "pauli/grouping.hpp"
+
 namespace q2::sim {
-namespace {
-
-bool qubitwise_compatible(const pauli::PauliString& a,
-                          const pauli::PauliString& b) {
-  for (std::size_t q = 0; q < a.n_qubits(); ++q) {
-    const pauli::P pa = a.get(q), pb = b.get(q);
-    if (pa != pauli::P::I && pb != pauli::P::I && pa != pb) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 double measure_energy(const Mps& state, const pauli::QubitOperator& h) {
   require(h.is_hermitian(1e-8), "measure_energy: operator is not Hermitian");
@@ -28,27 +18,20 @@ double measure_energy(const StateVector& state, const pauli::QubitOperator& h) {
 
 std::vector<std::vector<pauli::PauliString>> qubitwise_commuting_groups(
     const pauli::QubitOperator& op) {
-  std::vector<std::vector<pauli::PauliString>> groups;
-  for (const auto& [p, c] : op.sorted_terms()) {
-    if (p.is_identity()) continue;
-    bool placed = false;
-    for (auto& g : groups) {
-      bool ok = true;
-      for (const auto& member : g) {
-        if (!qubitwise_compatible(p, member)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        g.push_back(p);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) groups.push_back({p});
+  // Thin wrapper over the pauli::grouping planner (compatibility with the
+  // union basis is equivalent to pairwise compatibility with every member,
+  // so the first-fit result is identical to the old per-member scan).
+  std::vector<pauli::PauliString> terms;
+  terms.reserve(op.size());
+  for (const auto& [p, c] : op.sorted_terms()) terms.push_back(p);
+  std::vector<std::vector<pauli::PauliString>> out;
+  for (const auto& g : pauli::group_qubitwise_commuting(terms)) {
+    std::vector<pauli::PauliString> members;
+    members.reserve(g.members.size());
+    for (auto i : g.members) members.push_back(terms[i]);
+    out.push_back(std::move(members));
   }
-  return groups;
+  return out;
 }
 
 }  // namespace q2::sim

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <numeric>
 
 #include "circuit/routing.hpp"
@@ -40,6 +42,20 @@ obs::Histogram& bond_hist() {
       "mps.bond_dim", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
   return h;
 }
+// One "sweep" = one streaming pass over a support range: a standalone
+// expectation is one sweep, an expectation_batch is one sweep regardless of
+// how many terms it serves. transfer_site_ops counts the individual
+// per-site transfer contractions, which is where batching saves work.
+obs::Counter& transfer_sweep_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("mps.transfer_sweeps");
+  return c;
+}
+obs::Counter& transfer_op_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("mps.transfer_site_ops");
+  return c;
+}
 
 // View of one site tensor slice B_i (physical index fixed): a Dl x Dr matrix.
 la::CMatrix slice(const std::vector<cplx>& t, std::size_t dl, std::size_t dr,
@@ -54,7 +70,7 @@ la::CMatrix slice(const std::vector<cplx>& t, std::size_t dl, std::size_t dr,
 }  // namespace
 
 Mps::Mps(int n_qubits, MpsOptions options)
-    : n_(n_qubits), options_(options) {
+    : n_(n_qubits), options_(options), perm_(std::max(n_qubits, 1)) {
   require(n_qubits >= 2, "Mps: need at least two qubits");
   require(options_.max_bond >= 1, "Mps: max_bond must be positive");
   tensors_.resize(n_);
@@ -302,12 +318,25 @@ void Mps::apply(const circ::Gate& g, const std::vector<double>& params) {
 void Mps::run(const circ::Circuit& c, const std::vector<double>& params) {
   OBS_SPAN("mps/run");
   require(c.n_qubits() == n_, "Mps::run: qubit count mismatch");
+  require(perm_.is_identity(),
+          "Mps::run: engine carries a residual permutation; logical circuits "
+          "can only run on an unpermuted state");
   if (c.is_nearest_neighbour()) {
     for (const auto& g : c.gates()) apply(g, params);
   } else {
     const circ::Circuit routed = circ::route_to_nearest_neighbour(c);
     for (const auto& g : routed.gates()) apply(g, params);
   }
+}
+
+void Mps::run(const circ::CompiledCircuit& c,
+              const std::vector<double>& params) {
+  OBS_SPAN("mps/run");
+  require(c.gates.n_qubits() == n_, "Mps::run: qubit count mismatch");
+  require(perm_.is_identity(),
+          "Mps::run: compiled circuits assume the identity input placement");
+  for (const auto& g : c.gates.gates()) apply(g, params);
+  perm_ = c.output_perm;
 }
 
 namespace {
@@ -359,7 +388,16 @@ cplx Mps::expectation(const pauli::PauliString& p) const {
     const double nn = norm();
     return nn * nn;
   }
-  const auto [lo, hi] = p.support_range();
+  // <psi|P|psi> on a permuted state equals the expectation of the
+  // site-relabelled string on the raw tensors.
+  pauli::PauliString permuted_storage;
+  const pauli::PauliString& ps =
+      perm_.is_identity()
+          ? p
+          : (permuted_storage = p.permuted(perm_.site_of_map()));
+  const auto [lo, hi] = ps.support_range();
+  transfer_sweep_counter().add();
+  transfer_op_counter().add(std::uint64_t(hi - lo + 1));
 
   // Left environment at bond lo-1 is diag(lambda^2) in the canonical gauge.
   la::CMatrix e(dl_[lo], dl_[lo]);
@@ -372,7 +410,7 @@ cplx Mps::expectation(const pauli::PauliString& p) const {
   std::uint64_t streamed = 0;
   for (std::size_t s = lo; s <= hi; ++s) {
     cplx pm[4];
-    pauli::PauliString::single_qubit_matrix(p.get(s), pm);
+    pauli::PauliString::single_qubit_matrix(ps.get(s), pm);
     e = transfer(e, tensors_[s], dl_[s], dr_[s], pm);
     streamed += std::uint64_t(tensors_[s].size()) * sizeof(cplx);
   }
@@ -389,6 +427,97 @@ cplx Mps::expectation(const pauli::QubitOperator& op) const {
   cplx e{};
   for (const auto& [p, c] : op.terms()) e += c * expectation(p);
   return e;
+}
+
+std::vector<cplx> Mps::expectation_batch(
+    const std::vector<pauli::PauliString>& terms) const {
+  OBS_SPAN("mps/expectation_batch");
+  std::vector<cplx> out(terms.size());
+  if (terms.empty()) return out;
+
+  // Site-relabelled views with their support ranges; identity terms are
+  // answered immediately (norm^2) and excluded from the shared sweep.
+  struct Item {
+    std::size_t idx;
+    pauli::PauliString p;
+    std::size_t lo, hi;
+  };
+  std::vector<Item> items;
+  items.reserve(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    require(int(terms[i].n_qubits()) == n_,
+            "Mps::expectation_batch: qubit count mismatch");
+    if (terms[i].is_identity()) {
+      const double nn = norm();
+      out[i] = nn * nn;
+      continue;
+    }
+    pauli::PauliString ps = perm_.is_identity()
+                                ? terms[i]
+                                : terms[i].permuted(perm_.site_of_map());
+    const auto [lo, hi] = ps.support_range();
+    items.push_back({i, std::move(ps), lo, hi});
+  }
+  if (items.empty()) return out;
+  transfer_sweep_counter().add();
+
+  std::uint64_t site_ops = 0, streamed = 0, trace_adds = 0;
+
+  // Prefix-sharing sweep. Every item in `bucket` starts at the same site and
+  // agrees on all Pauli letters over [start, site); one transfer per distinct
+  // letter advances the shared environment. Because each term's environment
+  // chain consists of exactly the transfer calls the standalone expectation
+  // would make (identical inputs, identical order), per-term values are
+  // bit-identical to expectation(p) — sharing removes repeats, not FP steps.
+  std::function<void(const std::vector<const Item*>&, std::size_t,
+                     const la::CMatrix&)>
+      descend = [&](const std::vector<const Item*>& bucket, std::size_t site,
+                    const la::CMatrix& e) {
+        std::array<std::vector<const Item*>, 4> by_letter;
+        for (const Item* it : bucket)
+          by_letter[std::size_t(it->p.get(site))].push_back(it);
+        for (int letter = 0; letter < 4; ++letter) {
+          const auto& sub = by_letter[std::size_t(letter)];
+          if (sub.empty()) continue;
+          cplx pm[4];
+          pauli::PauliString::single_qubit_matrix(pauli::P(letter), pm);
+          const la::CMatrix next =
+              transfer(e, tensors_[site], dl_[site], dr_[site], pm);
+          ++site_ops;
+          streamed += std::uint64_t(tensors_[site].size()) * sizeof(cplx);
+          std::vector<const Item*> cont;
+          for (const Item* it : sub) {
+            if (it->hi == site) {
+              cplx tr{};
+              for (std::size_t a = 0; a < next.rows(); ++a) tr += next(a, a);
+              trace_adds += next.rows();
+              out[it->idx] = tr;
+            } else {
+              cont.push_back(it);
+            }
+          }
+          if (!cont.empty()) descend(cont, site + 1, next);
+        }
+      };
+
+  // Terms sharing an environment must share the exact same starting
+  // environment, so buckets are keyed on the start site (ascending for
+  // determinism).
+  std::map<std::size_t, std::vector<const Item*>> by_lo;
+  for (const Item& it : items) by_lo[it.lo].push_back(&it);
+  for (const auto& [lo, bucket] : by_lo) {
+    la::CMatrix e(dl_[lo], dl_[lo]);
+    if (lo == 0) {
+      e(0, 0) = 1.0;
+    } else {
+      const std::vector<double>& lam = lambda_[lo - 1];
+      for (std::size_t a = 0; a < dl_[lo]; ++a) e(a, a) = lam[a] * lam[a];
+    }
+    descend(bucket, lo, e);
+  }
+  transfer_op_counter().add(site_ops);
+  obs::WorkCounter::charge(2 * trace_adds, streamed);
+  return out;
 }
 
 std::vector<cplx> Mps::to_statevector() const {
@@ -412,7 +541,8 @@ std::vector<cplx> Mps::to_statevector() const {
     acc.swap(next);
   }
   // acc is (2^n, 1) with site 0 as the most significant index; remap to the
-  // state-vector convention (qubit q at bit q).
+  // state-vector convention (qubit q at bit q), then undo any residual
+  // compiled-run permutation so amplitudes are indexed by logical qubits.
   std::vector<cplx> out(std::size_t(1) << n_);
   for (std::size_t j = 0; j < out.size(); ++j) {
     std::size_t sv = 0;
@@ -420,10 +550,14 @@ std::vector<cplx> Mps::to_statevector() const {
       if ((j >> (n_ - 1 - q)) & 1) sv |= std::size_t(1) << q;
     out[sv] = acc[j];
   }
+  if (!perm_.is_identity()) return circ::unpermute_statevector(out, perm_);
   return out;
 }
 
 MpsState Mps::export_state() const {
+  require(perm_.is_identity(),
+          "Mps::export_state: the checkpoint format stores site tensors "
+          "only; run logical (unpermuted) circuits before checkpointing");
   MpsState s;
   s.n_qubits = n_;
   s.max_bond = options_.max_bond;

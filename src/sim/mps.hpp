@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "circuit/reorder.hpp"
 #include "linalg/svd.hpp"
 #include "parallel/parallel_options.hpp"
 #include "pauli/qubit_operator.hpp"
@@ -82,13 +83,33 @@ class Mps {
   const MpsProfile& profile() const { return profile_; }
 
   void apply(const circ::Gate& g, const std::vector<double>& params = {});
-  /// Runs a circuit; long-range two-qubit gates are routed internally.
+  /// Runs a circuit; long-range two-qubit gates are routed internally
+  /// (eagerly — prefer the compiled overload for repeated runs).
   void run(const circ::Circuit& c, const std::vector<double>& params = {});
+  /// Runs a pre-compiled circuit (see circ::compile_for_mps) and adopts its
+  /// residual output permutation: subsequent expectation values map logical
+  /// Pauli strings through the permutation, so the un-routing SWAP tail of
+  /// the eager router never runs. Requires an unpermuted engine (a fresh
+  /// state or one whose previous compiled run ended at the identity).
+  void run(const circ::CompiledCircuit& c,
+           const std::vector<double>& params = {});
+
+  /// Residual logical→site placement left by compiled runs (identity on a
+  /// fresh engine and after plain runs).
+  const circ::QubitPermutation& output_permutation() const { return perm_; }
 
   double norm() const;
 
   cplx expectation(const pauli::PauliString& p) const;
   cplx expectation(const pauli::QubitOperator& op) const;
+  /// Expectation of many strings in one streaming pass: terms sharing a
+  /// support prefix (same start site, same Pauli letters) reuse transfer
+  /// environments, so a qubit-wise commuting group costs roughly one
+  /// support-range sweep instead of one per term. Each per-term value is
+  /// computed by exactly the same transfer sequence as the standalone
+  /// `expectation(p)` call — results are bit-identical, only shared.
+  std::vector<cplx> expectation_batch(
+      const std::vector<pauli::PauliString>& terms) const;
 
   /// Contract everything (n <= ~24) — the test oracle path.
   std::vector<cplx> to_statevector() const;
@@ -124,6 +145,10 @@ class Mps {
   std::vector<std::vector<cplx>> tensors_;
   std::vector<std::size_t> dl_, dr_;
   std::vector<std::vector<double>> lambda_;  // lambda_[k]: bond between k,k+1
+  // Residual logical→site permutation from compiled runs. Site tensors are
+  // always indexed by *site*; this map is consulted only at the measurement
+  // boundary (expectation, to_statevector). Checkpoints require identity.
+  circ::QubitPermutation perm_;
   double truncation_error_ = 0.0;
   TwoSiteScratch scratch_;
   // Mutated only by the (non-const) apply paths. An engine instance is

@@ -21,7 +21,7 @@ la::CMatrix slice(const std::vector<cplx>& t, std::size_t dl, std::size_t dr,
 }  // namespace
 
 ReferenceMps::ReferenceMps(int n_qubits, MpsOptions options)
-    : n_(n_qubits), options_(options) {
+    : n_(n_qubits), options_(options), perm_(std::max(n_qubits, 1)) {
   require(n_qubits >= 2, "ReferenceMps: need at least two qubits");
   tensors_.resize(n_);
   dl_.assign(n_, 1);
@@ -58,6 +58,16 @@ void ReferenceMps::run(const circ::Circuit& c, const std::vector<double>& params
                                    ? c
                                    : circ::route_to_nearest_neighbour(c);
   for (const auto& g : routed.gates()) apply(g, params);
+}
+
+void ReferenceMps::run(const circ::CompiledCircuit& c,
+                       const std::vector<double>& params) {
+  require(c.gates.n_qubits() == n_, "ReferenceMps::run: qubit count mismatch");
+  require(perm_.is_identity(),
+          "ReferenceMps::run: compiled circuits assume the identity input "
+          "placement");
+  for (const auto& g : c.gates.gates()) apply(g, params);
+  perm_ = c.output_perm;
 }
 
 void ReferenceMps::apply_two_adjacent(int n, const std::array<cplx, 16>& m_in,
@@ -159,6 +169,8 @@ double ReferenceMps::norm() const {
 
 cplx ReferenceMps::expectation(const pauli::PauliString& p) const {
   require(int(p.n_qubits()) == n_, "ReferenceMps: qubit count mismatch");
+  const pauli::PauliString ps =
+      perm_.is_identity() ? p : p.permuted(perm_.site_of_map());
   // Whole-chain contraction of <psi|P|psi> over <psi|psi> — no canonical-form
   // shortcuts, by design.
   la::CMatrix e(1, 1);
@@ -167,7 +179,7 @@ cplx ReferenceMps::expectation(const pauli::PauliString& p) const {
   nrm(0, 0) = 1.0;
   for (int s = 0; s < n_; ++s) {
     cplx pm[4];
-    pauli::PauliString::single_qubit_matrix(p.get(std::size_t(s)), pm);
+    pauli::PauliString::single_qubit_matrix(ps.get(std::size_t(s)), pm);
     e = ref_transfer(e, tensors_[s], dl_[s], dr_[s], pm);
     nrm = ref_transfer(nrm, tensors_[s], dl_[s], dr_[s], kIdent);
   }
@@ -206,6 +218,7 @@ std::vector<cplx> ReferenceMps::to_statevector() const {
       if ((j >> (n_ - 1 - q)) & 1) sv |= std::size_t(1) << q;
     out[sv] = acc(j, 0);
   }
+  if (!perm_.is_identity()) return circ::unpermute_statevector(out, perm_);
   return out;
 }
 

@@ -22,6 +22,11 @@ class ReferenceMps {
 
   void apply(const circ::Gate& g, const std::vector<double>& params = {});
   void run(const circ::Circuit& c, const std::vector<double>& params = {});
+  /// Runs a compiled circuit and adopts its residual permutation; like the
+  /// optimized engine, expectation and to_statevector then map logical
+  /// observables through the permutation.
+  void run(const circ::CompiledCircuit& c,
+           const std::vector<double>& params = {});
 
   double norm() const;
   cplx expectation(const pauli::PauliString& p) const;
@@ -38,6 +43,7 @@ class ReferenceMps {
   MpsOptions options_;
   std::vector<std::vector<cplx>> tensors_;
   std::vector<std::size_t> dl_, dr_;
+  circ::QubitPermutation perm_;
 };
 
 }  // namespace q2::sim

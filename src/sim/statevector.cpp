@@ -88,6 +88,13 @@ void StateVector::run(const circ::Circuit& c, const std::vector<double>& params)
   for (const auto& g : c.gates()) apply(g, params);
 }
 
+void StateVector::run(const circ::CompiledCircuit& c,
+                      const std::vector<double>& params) {
+  run(c.gates, params);
+  if (!c.output_perm.is_identity())
+    amps_ = circ::unpermute_statevector(amps_, c.output_perm);
+}
+
 double StateVector::norm() const {
   double s = 0;
   for (const auto& a : amps_) s += norm2(a);

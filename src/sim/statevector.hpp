@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "circuit/reorder.hpp"
 #include "pauli/qubit_operator.hpp"
 
 namespace q2::sim {
@@ -23,6 +24,11 @@ class StateVector {
 
   void apply(const circ::Gate& g, const std::vector<double>& params = {});
   void run(const circ::Circuit& c, const std::vector<double>& params = {});
+  /// Runs a compiled circuit and immediately undoes its residual output
+  /// permutation, so the amplitudes stay in the logical-qubit convention
+  /// (cheap here — one index remap — unlike the MPS engine's SWAP tail).
+  void run(const circ::CompiledCircuit& c,
+           const std::vector<double>& params = {});
 
   double norm() const;
   /// Probability of qubit q measuring `bit`.

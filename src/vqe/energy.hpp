@@ -8,6 +8,8 @@
 #include <atomic>
 #include <vector>
 
+#include "circuit/reorder.hpp"
+#include "pauli/grouping.hpp"
 #include "pauli/qubit_operator.hpp"
 #include "sim/mps.hpp"
 
@@ -23,12 +25,18 @@ enum class CircuitStorage {
   kMemoryEfficient,  ///< one parametric ansatz replica (paper's scheme)
 };
 
+enum class TermGrouping {
+  kNone,       ///< one expectation sweep per Pauli term (baseline)
+  kCommuting,  ///< qubit-wise commuting groups share transfer sweeps
+};
+
 class EnergyEvaluator {
  public:
   EnergyEvaluator(circ::Circuit ansatz, pauli::QubitOperator hamiltonian,
                   sim::MpsOptions mps_options = {},
                   MeasurementMode mode = MeasurementMode::kDirect,
-                  CircuitStorage storage = CircuitStorage::kMemoryEfficient);
+                  CircuitStorage storage = CircuitStorage::kMemoryEfficient,
+                  TermGrouping grouping = TermGrouping::kCommuting);
 
   std::size_t n_terms() const { return terms_.size(); }
   std::size_t n_parameters() const { return ansatz_.parameter_count(); }
@@ -70,11 +78,28 @@ class EnergyEvaluator {
   }
   double constant_term() const { return constant_; }
 
+  /// Number of qubit-wise commuting measurement groups the direct sweep
+  /// uses; equals n_terms() when grouping is disabled (every term is its own
+  /// sweep). Also exported as the "vqe.measurement_groups" gauge.
+  std::size_t measurement_group_count() const {
+    return groups_.empty() ? terms_.size() : groups_.size();
+  }
+  /// The cached compiled ansatz (empty circuit when the eager baseline path
+  /// is active, i.e. kStoreAll or Hadamard-test mode).
+  const circ::CompiledCircuit& compiled_ansatz() const { return compiled_; }
+
  private:
   double measure_direct(const std::vector<double>& params,
                         const std::vector<std::size_t>& idx) const;
   double measure_hadamard(const std::vector<double>& params,
                           const std::vector<std::size_t>& idx) const;
+  /// Measures the idx-subset of terms on a prepared state (grouped batches
+  /// when grouping is on, one expectation per term otherwise) and reduces
+  /// contributions in idx order — bit-identical to the serial ungrouped
+  /// sweep for every thread count and grouping mode.
+  double reduce_terms(const sim::Mps& state,
+                      const std::vector<std::size_t>& idx,
+                      bool parallel_sweep) const;
 
   circ::Circuit ansatz_;
   pauli::QubitOperator hamiltonian_;
@@ -83,6 +108,12 @@ class EnergyEvaluator {
   CircuitStorage storage_;
   std::vector<std::pair<pauli::PauliString, cplx>> terms_;
   double constant_ = 0.0;
+  /// Compiled-once ansatz for the direct memory-efficient path; parameters
+  /// bind at run time, so energy/gradient calls never re-route.
+  circ::CompiledCircuit compiled_;
+  bool use_compiled_ = false;
+  /// QWC measurement plan over terms_ (empty = ungrouped per-term sweeps).
+  std::vector<pauli::MeasurementGroup> groups_;
   /// Relaxed atomic: distributed VQE calls partial_energy concurrently from
   /// rank threads; any rank's value is an equally valid report entry.
   mutable std::atomic<double> last_truncation_error_{0.0};

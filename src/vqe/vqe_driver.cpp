@@ -74,10 +74,14 @@ VqeResult optimize(const EnergyEvaluator& evaluator, const UccsdAnsatz& ansatz,
   const bool reporting = report && sink.is_open();
   std::shared_ptr<Timer> iter_timer;
   if (reporting) {
-    sink.record("vqe_setup", {{"n_qubits", ansatz.circuit.n_qubits()},
-                              {"n_parameters", ansatz.n_parameters},
-                              {"n_pauli_terms", evaluator.n_terms()},
-                              {"circuit_gates", ansatz.circuit.size()}});
+    sink.record("vqe_setup",
+                {{"n_qubits", ansatz.circuit.n_qubits()},
+                 {"n_parameters", ansatz.n_parameters},
+                 {"n_pauli_terms", evaluator.n_terms()},
+                 {"measurement_groups", evaluator.measurement_group_count()},
+                 {"compiled_gates", evaluator.compiled_ansatz().gates.size()},
+                 {"swaps_elided", evaluator.compiled_ansatz().stats.swaps_elided},
+                 {"circuit_gates", ansatz.circuit.size()}});
     iter_timer = std::make_shared<Timer>();
     const IterationObserver user_observer = opt_options.iteration_observer;
     opt_options.iteration_observer = [&evaluator, iter_timer, user_observer](

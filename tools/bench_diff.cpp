@@ -15,6 +15,11 @@
 //                                          between the snapshot host and CI.
 //   * "*_sweeps"                         — deterministic iteration counts,
 //                                          lower-better, gated by default.
+//   * "*_swaps" / "*_updates"            — exact deterministic circuit-work
+//                                          counts (compile pass output):
+//                                          lower-better with ZERO tolerance —
+//                                          any increase over the baseline is a
+//                                          hard failure.
 //   * "*_s" / "*_seconds" / "*_error"    — absolute timings and accuracy,
 //                                          lower-better but machine-dependent;
 //                                          informational unless --strict.
@@ -54,7 +59,13 @@ bool contains_any(const std::string& s,
   return false;
 }
 
-enum class Direction { kFloor, kHigherBetter, kLowerBetterGated, kInfo };
+enum class Direction {
+  kFloor,
+  kHigherBetter,
+  kLowerBetterGated,
+  kLowerBetterExact,
+  kInfo,
+};
 
 Direction classify(const std::string& key, bool strict) {
   if (key == "perf_floor_ok") return Direction::kFloor;
@@ -64,6 +75,10 @@ Direction classify(const std::string& key, bool strict) {
                          "per_s", "efficiency"}))
     return Direction::kHigherBetter;
   if (ends_with(key, "_sweeps")) return Direction::kLowerBetterGated;
+  // Exact counts out of the deterministic compile pass: equal inputs must
+  // produce equal (or better) outputs, so there is no tolerance band.
+  if (ends_with(key, "_swaps") || ends_with(key, "_updates"))
+    return Direction::kLowerBetterExact;
   if (ends_with(key, "_s") || ends_with(key, "_seconds") ||
       ends_with(key, "_error"))
     return strict ? Direction::kLowerBetterGated : Direction::kInfo;
@@ -162,6 +177,9 @@ int run(int argc, char** argv) {
         break;
       case Direction::kLowerBetterGated:
         status = cand_v > base_v * (1.0 + tol) ? "REGRESSED" : "ok";
+        break;
+      case Direction::kLowerBetterExact:
+        status = cand_v > base_v ? "REGRESSED" : "ok";
         break;
       case Direction::kInfo:
         break;
